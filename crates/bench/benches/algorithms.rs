@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the six algorithms (the timing column of
+//! Table 6, on a fixed mid-size power-law analogue).
+//!
+//! Run with `cargo bench -p mis-bench --bench algorithms`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mis_core::{Baseline, DynamicUpdate, Greedy, OneKSwap, TfpMaximalIs, TwoKSwap};
+use mis_extmem::IoStats;
+use mis_graph::OrderedCsr;
+
+const VERTICES: u64 = 20_000;
+const BETA: f64 = 2.0;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let graph = mis_gen::Plrg::with_vertices(VERTICES, BETA).seed(11).generate();
+    let sorted = OrderedCsr::degree_sorted(&graph);
+    let greedy_set = Greedy::new().run(&sorted).set;
+
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| Greedy::new().run(&sorted).set.len())
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| Baseline::new().run(&graph).set.len())
+    });
+    group.bench_function("dynamic_update", |b| {
+        b.iter(|| DynamicUpdate::new().run(&graph).set.len())
+    });
+    group.bench_function("tfp_stxxl", |b| {
+        b.iter(|| {
+            TfpMaximalIs::new()
+                .run(&graph, IoStats::shared())
+                .unwrap()
+                .set
+                .len()
+        })
+    });
+    group.bench_function("one_k_swap", |b| {
+        b.iter_batched(
+            || greedy_set.clone(),
+            |set| OneKSwap::new().run(&sorted, &set).result.set.len(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("two_k_swap", |b| {
+        b.iter_batched(
+            || greedy_set.clone(),
+            |set| TwoKSwap::new().run(&sorted, &set).result.set.len(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

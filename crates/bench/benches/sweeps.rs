@@ -1,0 +1,57 @@
+//! Criterion benchmarks over workload parameters: the β sweep of
+//! Figure 8 (algorithm runtime as tail weight varies) and the cascade
+//! worst case of Figure 5 (round count linear in blocks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mis_core::{Greedy, OneKSwap, SwapConfig, TwoKSwap};
+use mis_gen::special::{cascade_initial_is, cascade_swap};
+use mis_graph::OrderedCsr;
+
+fn bench_beta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beta_sweep_two_k");
+    group.sample_size(10);
+    for &beta in &[1.7f64, 2.0, 2.4, 2.7] {
+        let graph = mis_gen::Plrg::with_vertices(15_000, beta).seed(5).generate();
+        let sorted = OrderedCsr::degree_sorted(&graph);
+        let greedy = Greedy::new().run(&sorted).set;
+        group.throughput(Throughput::Elements(2 * graph.num_edges()));
+        group.bench_function(format!("beta_{beta:.1}"), |b| {
+            b.iter_batched(
+                || greedy.clone(),
+                |set| TwoKSwap::new().run(&sorted, &set).result.set.len(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade_rounds");
+    group.sample_size(10);
+    for &k in &[10usize, 100] {
+        let graph = cascade_swap(k);
+        let initial = cascade_initial_is(k);
+        let sorted = OrderedCsr::degree_sorted(&graph);
+        group.bench_function(format!("blocks_{k}"), |b| {
+            b.iter_batched(
+                || initial.clone(),
+                |init| {
+                    OneKSwap::with_config(SwapConfig {
+                        finalize_maximal: false,
+                        ..SwapConfig::default()
+                    })
+                    .run(&sorted, &init)
+                    .result
+                    .set
+                    .len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta_sweep, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Shared dataset-suite runner for Tables 5–8 and Figure 9.
+//!
+//! Running all eight algorithm configurations over all ten analogues is
+//! the expensive part of the reproduction, so `repro all` computes it
+//! once and feeds every dependent table.
+
+use mis_gen::DATASETS;
+
+use crate::harness::{self, DatasetRun};
+
+/// Runs the full suite over every dataset analogue at the `REPRO_SCALE`
+/// scale. Prints a progress line per dataset (the big analogues take a
+/// few seconds each).
+pub fn run_suite() -> Vec<DatasetRun> {
+    let scale = mis_gen::datasets::env_scale();
+    println!(
+        "(generating {} dataset analogues at REPRO_SCALE={scale}; cap {} vertices)",
+        DATASETS.len(),
+        (mis_gen::datasets::DEFAULT_MAX_VERTICES as f64 * scale) as u64
+    );
+    DATASETS
+        .iter()
+        .map(|d| {
+            let start = std::time::Instant::now();
+            let run = harness::run_dataset(d, scale);
+            println!(
+                "  [{}] |V|={} |E|={} suite in {}",
+                d.name,
+                run.vertices,
+                run.edges,
+                harness::fmt_time(start.elapsed())
+            );
+            run
+        })
+        .collect()
+}

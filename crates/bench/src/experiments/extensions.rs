@@ -1,0 +1,114 @@
+//! Extension experiments beyond the paper's evaluation: upper-bound
+//! tightness, reducing-peeling effectiveness, and compressed-file I/O.
+
+use std::sync::Arc;
+
+use mis_core::peeling::peel;
+use mis_core::{matching_bound, upper_bound_scan, Greedy, SwapConfig, TwoKSwap};
+use mis_extmem::{IoStats, ScratchDir};
+use mis_graph::{build_adj_file, compress_adj, GraphScan, OrderedCsr};
+use mis_gen::DATASETS;
+
+use crate::harness;
+
+/// Compares the Algorithm 5 bound with the matching bound and the
+/// achieved Two-k size on every dataset analogue.
+pub fn bounds() {
+    let scale = mis_gen::datasets::env_scale();
+    println!("== Upper-bound tightness (Algorithm 5 vs matching bound, REPRO_SCALE={scale}) ==");
+    let header = ["Data Set", "Two-k", "Alg.5", "matching", "best", "gap"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
+    let mut rows = Vec::new();
+    for d in &DATASETS {
+        let g = d.generate(scale);
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let greedy = Greedy::new().run(&sorted);
+        let two = TwoKSwap::new().run(&sorted, &greedy.set);
+        let star = upper_bound_scan(&sorted);
+        let matching = matching_bound(&sorted);
+        let best = star.min(matching);
+        rows.push(vec![
+            d.name.to_string(),
+            two.result.set.len().to_string(),
+            star.to_string(),
+            matching.to_string(),
+            best.to_string(),
+            format!("{:.2}%", 100.0 * (best as f64 - two.result.set.len() as f64) / best as f64),
+        ]);
+    }
+    harness::print_table(&header, &rows);
+    println!("  the paper's ratios use Algorithm 5; the matching bound tightens the gap on dense analogues");
+}
+
+/// Shows how much of each dataset the exact degree-0/1 peeling settles
+/// before any heuristic runs, and the quality of peel+solve.
+pub fn peeling() {
+    let scale = mis_gen::datasets::env_scale();
+    println!("== Reducing-peeling (exact degree-0/1 reductions, REPRO_SCALE={scale}) ==");
+    let header = [
+        "Data Set", "|V|", "peeled in", "peeled out", "kernel", "scans", "peel+solve", "plain two-k",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
+    let mut rows = Vec::new();
+    for d in &DATASETS {
+        let g = d.generate(scale);
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let outcome = peel(&sorted, None);
+        let (combined, _) = mis_core::peel_and_solve(&sorted, SwapConfig::default());
+        let greedy = Greedy::new().run(&sorted);
+        let plain = TwoKSwap::new().run(&sorted, &greedy.set);
+        rows.push(vec![
+            d.name.to_string(),
+            g.num_vertices().to_string(),
+            outcome.included.len().to_string(),
+            outcome.excluded.to_string(),
+            outcome.kernel_vertices.to_string(),
+            outcome.scans.to_string(),
+            combined.set.len().to_string(),
+            plain.result.set.len().to_string(),
+        ]);
+    }
+    harness::print_table(&header, &rows);
+    println!("  power-law fringes peel heavily; peel+solve matches plain two-k with a smaller kernel");
+}
+
+/// Compression ratios and scan block counts, plain vs compressed files.
+pub fn compression() {
+    let scale = mis_gen::datasets::env_scale();
+    println!("== Gap-compressed adjacency files (REPRO_SCALE={scale}) ==");
+    let header = ["Data Set", "plain bytes", "compressed", "ratio", "plain scan blk", "comp scan blk"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
+    let mut rows = Vec::new();
+    let block = 64 * 1024usize;
+    for d in DATASETS.iter().take(5) {
+        let g = d.generate(scale);
+        let scratch = ScratchDir::new("repro-compress").expect("scratch");
+        let stats = IoStats::shared();
+        let plain = build_adj_file(&g, &scratch.file("g.adj"), Arc::clone(&stats), block).expect("build");
+        let comp = compress_adj(&g, &scratch.file("g.cadj"), Arc::clone(&stats), block).expect("compress");
+        let plain_bytes = plain.disk_bytes().expect("meta");
+        let comp_bytes = comp.disk_bytes().expect("meta");
+        let before = stats.snapshot();
+        plain.scan(&mut |_, _| {}).expect("scan");
+        let plain_blocks = stats.snapshot().since(&before).blocks_read;
+        let before = stats.snapshot();
+        comp.scan(&mut |_, _| {}).expect("scan");
+        let comp_blocks = stats.snapshot().since(&before).blocks_read;
+        rows.push(vec![
+            d.name.to_string(),
+            plain_bytes.to_string(),
+            comp_bytes.to_string(),
+            format!("{:.2}x", plain_bytes as f64 / comp_bytes as f64),
+            plain_blocks.to_string(),
+            comp_blocks.to_string(),
+        ]);
+    }
+    harness::print_table(&header, &rows);
+    println!("  every sequential scan moves proportionally fewer blocks on the compressed file");
+}

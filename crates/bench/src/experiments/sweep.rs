@@ -1,0 +1,63 @@
+//! Shared β-sweep machinery for Tables 2/9 and Figures 6/8/10.
+//!
+//! The paper fixes `|V| = 10M` and sweeps `β` from 1.7 to 2.7. Generating
+//! ten 10M-vertex graphs per β is out of scope for a quick reproduction,
+//! so the sweep targets [`crate::harness::sweep_vertices`] vertices
+//! (100k by default, `REPRO_SCALE`-adjustable) and prints the scale used.
+//! Ratios are scale-stable (see `mis-theory`'s `scale_free_ratio` test).
+
+use mis_core::upper_bound_scan;
+use mis_graph::{CsrGraph, OrderedCsr};
+use mis_theory::PlrgParams;
+
+use crate::harness;
+
+/// Number of random graphs averaged per β (the paper uses 10).
+pub fn graphs_per_beta() -> usize {
+    std::env::var("REPRO_GRAPHS_PER_BETA")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+/// One generated graph of a sweep, with its fitted parameters.
+pub struct SweepGraph {
+    /// Fitted model parameters.
+    pub params: PlrgParams,
+    /// The generated graph.
+    pub graph: CsrGraph,
+}
+
+/// Generates `count` graphs at (fitted α, β) with distinct seeds.
+pub fn generate(beta: f64, count: usize) -> Vec<SweepGraph> {
+    let n = harness::sweep_vertices();
+    (0..count)
+        .map(|seed| {
+            let gen = mis_gen::Plrg::with_vertices(n, beta).seed(seed as u64 * 7919 + 1);
+            SweepGraph {
+                params: gen.params(),
+                graph: gen.generate(),
+            }
+        })
+        .collect()
+}
+
+/// Average Algorithm-5 upper bound over `graphs` (degree-sorted scan
+/// order, as in the paper's Appendix).
+pub fn average_bound(graphs: &[SweepGraph]) -> f64 {
+    let total: u64 = graphs
+        .iter()
+        .map(|g| upper_bound_scan(&OrderedCsr::degree_sorted(&g.graph)))
+        .sum();
+    total as f64 / graphs.len() as f64
+}
+
+/// Prints the standard sweep banner.
+pub fn banner(what: &str) {
+    println!(
+        "== {what} ==  (β ∈ [1.7, 2.7], |V| ≈ {}, {} graphs/β; paper: |V| = 10M, 10 graphs/β)",
+        harness::sweep_vertices(),
+        graphs_per_beta()
+    );
+}

@@ -1,0 +1,298 @@
+//! Shared machinery: run the six algorithms on a graph, time them, model
+//! their memory, and format result tables.
+
+use std::time::{Duration, Instant};
+
+use mis_core::{
+    upper_bound_scan, Baseline, DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs,
+    TwoKSwap,
+};
+use mis_extmem::IoStats;
+use mis_gen::Dataset;
+use mis_graph::{CsrGraph, OrderedCsr};
+
+/// Result of one algorithm on one graph.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Algorithm label as used in the paper's tables.
+    pub name: &'static str,
+    /// Independent-set size.
+    pub size: u64,
+    /// Wall-clock time.
+    pub time: Duration,
+    /// Modelled memory footprint in bytes (paper Table 6 convention).
+    pub memory_bytes: u64,
+    /// Swap rounds (0 for non-swap algorithms).
+    pub rounds: u32,
+    /// Per-round swapped-in counts (swap algorithms only).
+    pub per_round_in: Vec<u64>,
+    /// Peak SC vertices (two-k only).
+    pub sc_peak_vertices: u64,
+}
+
+/// All paper algorithms run on one dataset analogue.
+#[derive(Debug, Clone)]
+pub struct DatasetRun {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Analogue vertex count.
+    pub vertices: u64,
+    /// Analogue edge count.
+    pub edges: u64,
+    /// Average degree of the analogue.
+    pub avg_degree: f64,
+    /// Algorithm 5 upper bound on this graph (degree-sorted scan order).
+    pub upper_bound: u64,
+    /// The individual runs, in the paper's column order.
+    pub runs: Vec<AlgoRun>,
+}
+
+impl DatasetRun {
+    /// Looks up one algorithm's run by name.
+    pub fn get(&self, name: &str) -> Option<&AlgoRun> {
+        self.runs.iter().find(|r| r.name == name)
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Runs the full six-algorithm suite of Table 5 on `graph`:
+/// `DynamicUpdate`, `STXXL` (time-forward processing), `Baseline`,
+/// one-k/two-k after Baseline, `Greedy`, one-k/two-k after Greedy.
+pub fn run_all_algorithms(name: &'static str, graph: &CsrGraph) -> DatasetRun {
+    let sorted = OrderedCsr::degree_sorted(graph);
+    let mut runs = Vec::new();
+
+    let (dynamic, t) = timed(|| DynamicUpdate::new().run(graph));
+    runs.push(AlgoRun {
+        name: "DynamicUpdate",
+        size: dynamic.set.len() as u64,
+        time: t,
+        memory_bytes: dynamic.memory.total(),
+        rounds: 0,
+        per_round_in: Vec::new(),
+        sc_peak_vertices: 0,
+    });
+
+    let (tfp, t) = timed(|| {
+        TfpMaximalIs::new()
+            .run(graph, IoStats::shared())
+            .expect("tfp run failed")
+    });
+    runs.push(AlgoRun {
+        name: "STXXL",
+        size: tfp.set.len() as u64,
+        time: t,
+        memory_bytes: tfp.memory.total(),
+        rounds: 0,
+        per_round_in: Vec::new(),
+        sc_peak_vertices: 0,
+    });
+
+    let (baseline, t) = timed(|| Baseline::new().run(graph));
+    runs.push(AlgoRun {
+        name: "Baseline",
+        size: baseline.set.len() as u64,
+        time: t,
+        memory_bytes: baseline.memory.total(),
+        rounds: 0,
+        per_round_in: Vec::new(),
+        sc_peak_vertices: 0,
+    });
+
+    let (one_b, t) = timed(|| OneKSwap::new().run(graph, &baseline.set));
+    runs.push(AlgoRun {
+        name: "One-k (Baseline)",
+        size: one_b.result.set.len() as u64,
+        time: t,
+        memory_bytes: one_b.result.memory.total(),
+        rounds: one_b.stats.num_rounds(),
+        per_round_in: one_b.stats.rounds.iter().map(|r| r.swapped_in).collect(),
+        sc_peak_vertices: 0,
+    });
+
+    let (two_b, t) = timed(|| TwoKSwap::new().run(graph, &baseline.set));
+    runs.push(AlgoRun {
+        name: "Two-k (Baseline)",
+        size: two_b.result.set.len() as u64,
+        time: t,
+        memory_bytes: two_b.result.memory.total(),
+        rounds: two_b.stats.num_rounds(),
+        per_round_in: two_b.stats.rounds.iter().map(|r| r.swapped_in).collect(),
+        sc_peak_vertices: two_b.stats.sc_peak_vertices,
+    });
+
+    let (greedy, t) = timed(|| Greedy::new().run(&sorted));
+    runs.push(AlgoRun {
+        name: "Greedy",
+        size: greedy.set.len() as u64,
+        time: t,
+        memory_bytes: greedy.memory.total(),
+        rounds: 0,
+        per_round_in: Vec::new(),
+        sc_peak_vertices: 0,
+    });
+
+    let (one_g, t) = timed(|| OneKSwap::new().run(&sorted, &greedy.set));
+    runs.push(AlgoRun {
+        name: "One-k (Greedy)",
+        size: one_g.result.set.len() as u64,
+        time: t,
+        memory_bytes: one_g.result.memory.total(),
+        rounds: one_g.stats.num_rounds(),
+        per_round_in: one_g.stats.rounds.iter().map(|r| r.swapped_in).collect(),
+        sc_peak_vertices: 0,
+    });
+
+    let (two_g, t) = timed(|| TwoKSwap::new().run(&sorted, &greedy.set));
+    runs.push(AlgoRun {
+        name: "Two-k (Greedy)",
+        size: two_g.result.set.len() as u64,
+        time: t,
+        memory_bytes: two_g.result.memory.total(),
+        rounds: two_g.stats.num_rounds(),
+        per_round_in: two_g.stats.rounds.iter().map(|r| r.swapped_in).collect(),
+        sc_peak_vertices: two_g.stats.sc_peak_vertices,
+    });
+
+    DatasetRun {
+        name,
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges(),
+        avg_degree: graph.avg_degree(),
+        upper_bound: upper_bound_scan(&sorted),
+        runs,
+    }
+}
+
+/// Generates a dataset analogue and runs the suite.
+pub fn run_dataset(dataset: &Dataset, scale: f64) -> DatasetRun {
+    let graph = dataset.generate(scale);
+    run_all_algorithms(dataset.name, &graph)
+}
+
+/// One point of a β sweep (Figures 8/10, Tables 2/9).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The β of this point.
+    pub beta: f64,
+    /// Fitted α.
+    pub alpha: f64,
+    /// Realised vertex count.
+    pub vertices: u64,
+    /// Realised edge count.
+    pub edges: u64,
+}
+
+/// The paper's β grid: 1.7, 1.8, …, 2.7.
+pub fn beta_grid() -> Vec<f64> {
+    (0..=10).map(|i| 1.7 + 0.1 * i as f64).collect()
+}
+
+/// β-sweep vertex target honouring `REPRO_SCALE`.
+pub fn sweep_vertices() -> u64 {
+    let scale = mis_gen::datasets::env_scale();
+    ((100_000.0 * scale) as u64).max(1_000)
+}
+
+/// Early-stop swap runner used by Table 8.
+pub fn one_k_with_rounds(graph: &CsrGraph, rounds: u32) -> mis_core::result::SwapOutcome {
+    let sorted = OrderedCsr::degree_sorted(graph);
+    let greedy = Greedy::new().run(&sorted);
+    OneKSwap::with_config(SwapConfig::early_stop(rounds)).run(&sorted, &greedy.set)
+}
+
+/// Formats a duration compactly (`ms` below 10 s, seconds otherwise).
+pub fn fmt_time(d: Duration) -> String {
+    if d < Duration::from_secs(10) {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
+}
+
+/// Prints an aligned text table: `rows` of equally long cells.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(header);
+    println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_orders_algorithms() {
+        let g = mis_gen::Plrg::with_vertices(2_000, 2.2).seed(1).generate();
+        let run = run_all_algorithms("test", &g);
+        assert_eq!(run.runs.len(), 8);
+        // Paper Table 5 shape: swaps beat their starting point.
+        let baseline = run.get("Baseline").unwrap().size;
+        let one_b = run.get("One-k (Baseline)").unwrap().size;
+        let two_b = run.get("Two-k (Baseline)").unwrap().size;
+        let greedy = run.get("Greedy").unwrap().size;
+        let two_g = run.get("Two-k (Greedy)").unwrap().size;
+        assert!(one_b >= baseline);
+        assert!(two_b >= baseline);
+        assert!(two_g >= greedy);
+        // Everything respects the Algorithm 5 bound.
+        for r in &run.runs {
+            assert!(r.size <= run.upper_bound, "{} exceeds bound", r.name);
+        }
+    }
+
+    #[test]
+    fn beta_grid_matches_paper() {
+        let grid = beta_grid();
+        assert_eq!(grid.len(), 11);
+        assert!((grid[0] - 1.7).abs() < 1e-12);
+        assert!((grid[10] - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert!(fmt_time(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_time(Duration::from_secs(12)).ends_with('s'));
+    }
+}

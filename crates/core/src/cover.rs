@@ -1,0 +1,106 @@
+//! Minimum vertex cover via maximum independent set.
+//!
+//! The paper's conclusion names minimum vertex cover as the first target
+//! for extending the framework — and the reduction is immediate: `C` is a
+//! vertex cover iff `V ∖ C` is an independent set, so the complement of a
+//! *large* independent set is a *small* vertex cover. This module packages
+//! that reduction on top of the semi-external pipeline, with a one-scan
+//! verifier.
+
+use mis_graph::{GraphScan, VertexId};
+
+/// Complements an independent set into a vertex cover.
+///
+/// If `independent_set` is independent, the result covers every edge; the
+/// larger the independent set, the smaller the cover.
+pub fn cover_from_independent_set<G: GraphScan + ?Sized>(
+    graph: &G,
+    independent_set: &[VertexId],
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut in_set = vec![false; n];
+    for &v in independent_set {
+        in_set[v as usize] = true;
+    }
+    (0..n as VertexId).filter(|&v| !in_set[v as usize]).collect()
+}
+
+/// Whether `cover` touches every edge of `graph` (one sequential scan,
+/// one bit per vertex).
+pub fn is_vertex_cover<G: GraphScan + ?Sized>(graph: &G, cover: &[VertexId]) -> bool {
+    let n = graph.num_vertices();
+    let mut member = vec![false; n];
+    for &v in cover {
+        member[v as usize] = true;
+    }
+    let mut ok = true;
+    graph
+        .scan(&mut |v, ns| {
+            if ok && !member[v as usize] && ns.iter().any(|&u| !member[u as usize]) {
+                ok = false;
+            }
+        })
+        .expect("scan failed");
+    ok
+}
+
+/// Convenience: run the full Greedy → Two-k-swap pipeline and return the
+/// complement cover (`graph` must be scanned in ascending degree order
+/// for the Greedy guarantee; any order is correct).
+pub fn min_vertex_cover<G: GraphScan + ?Sized>(graph: &G) -> Vec<VertexId> {
+    let greedy = crate::greedy::Greedy::new().run(graph);
+    let swapped = crate::twok::TwoKSwap::new().run(graph, &greedy.set);
+    cover_from_independent_set(graph, &swapped.result.set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::{CsrGraph, OrderedCsr};
+
+    #[test]
+    fn star_cover_is_the_hub() {
+        let g = mis_gen::special::star(6);
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let cover = min_vertex_cover(&sorted);
+        assert_eq!(cover, vec![0]);
+        assert!(is_vertex_cover(&g, &cover));
+    }
+
+    #[test]
+    fn complement_relation_holds() {
+        let g = mis_gen::plrg::Plrg::with_vertices(3_000, 2.1).seed(2).generate();
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let cover = min_vertex_cover(&sorted);
+        assert!(is_vertex_cover(&g, &cover));
+        assert_eq!(
+            cover.len() + (g.num_vertices() - cover.len()),
+            g.num_vertices()
+        );
+        // The complement must be independent again.
+        let complement = cover_from_independent_set(&g, &cover);
+        assert!(crate::verify::is_independent_set(&g, &complement));
+    }
+
+    #[test]
+    fn cover_verifier_rejects_uncovered_edges() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(is_vertex_cover(&g, &[0, 2]));
+        assert!(!is_vertex_cover(&g, &[0]));
+        assert!(is_vertex_cover(&g, &[0, 1, 2, 3]));
+        assert!(is_vertex_cover(&CsrGraph::empty(3), &[]));
+    }
+
+    #[test]
+    fn cover_size_tracks_exact_optimum_on_small_graphs() {
+        for seed in 0..10 {
+            let g = mis_gen::er::gnm(20, 40, seed);
+            let alpha = crate::exact::independence_number(&g);
+            let optimal_cover = g.num_vertices() - alpha;
+            let sorted = OrderedCsr::degree_sorted(&g);
+            let cover = min_vertex_cover(&sorted);
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+            assert!(cover.len() >= optimal_cover, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Exact maximum independent set for small graphs.
+//!
+//! A branch-and-bound over `u128` bitsets (graphs up to 128 vertices):
+//! pick the highest-residual-degree candidate, branch on including or
+//! excluding it, prune when even taking every remaining candidate cannot
+//! beat the incumbent. Exponential in the worst case — this is the NP-hard
+//! problem after all — but instant at the sizes the test oracle needs.
+//! The paper cites Xiao's `O(1.2002^n)` solver \[26\] for this role; the
+//! simple bound-and-branch below is equivalent for oracle purposes.
+
+use mis_graph::{CsrGraph, VertexId};
+
+/// Maximum number of vertices the exact solver accepts.
+pub const MAX_EXACT_VERTICES: usize = 128;
+
+/// Computes a maximum independent set of `graph` (`|V| ≤ 128`), returned
+/// sorted ascending.
+///
+/// # Panics
+/// If the graph has more than [`MAX_EXACT_VERTICES`] vertices.
+pub fn maximum_independent_set(graph: &CsrGraph) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    assert!(
+        n <= MAX_EXACT_VERTICES,
+        "exact solver supports at most {MAX_EXACT_VERTICES} vertices, got {n}"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+
+    let mut adj = vec![0u128; n];
+    for (v, mask) in adj.iter_mut().enumerate() {
+        for &u in graph.neighbors(v as VertexId) {
+            *mask |= 1u128 << u;
+        }
+    }
+
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut best_set: u128 = 0;
+    let mut best: u32 = 0;
+    branch(&adj, full, 0, 0, &mut best, &mut best_set);
+
+    (0..n as VertexId).filter(|&v| best_set & (1u128 << v) != 0).collect()
+}
+
+/// Independence number of `graph` (`|V| ≤ 128`).
+pub fn independence_number(graph: &CsrGraph) -> usize {
+    maximum_independent_set(graph).len()
+}
+
+fn branch(adj: &[u128], cand: u128, cur: u128, cur_len: u32, best: &mut u32, best_set: &mut u128) {
+    if cur_len + cand.count_ones() <= *best {
+        return; // cannot beat the incumbent
+    }
+    if cand == 0 {
+        *best = cur_len;
+        *best_set = cur;
+        return;
+    }
+    // Branch on the candidate with the most candidate-neighbours:
+    // including it removes the most, excluding it constrains the most.
+    let mut pivot = 0usize;
+    let mut pivot_deg = -1i32;
+    let mut rest = cand;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let deg = (adj[v] & cand).count_ones() as i32;
+        if deg > pivot_deg {
+            pivot_deg = deg;
+            pivot = v;
+        }
+    }
+    let bit = 1u128 << pivot;
+    // Include the pivot.
+    branch(adj, cand & !bit & !adj[pivot], cur | bit, cur_len + 1, best, best_set);
+    // Exclude the pivot.
+    branch(adj, cand & !bit, cur, cur_len, best, best_set);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_independent_set;
+
+    #[test]
+    fn known_independence_numbers() {
+        assert_eq!(independence_number(&mis_gen::special::complete(6)), 1);
+        assert_eq!(independence_number(&mis_gen::special::star(7)), 7);
+        assert_eq!(independence_number(&mis_gen::special::path(9)), 5);
+        assert_eq!(independence_number(&mis_gen::special::cycle(9)), 4);
+        assert_eq!(independence_number(&mis_gen::special::complete_bipartite(3, 8)), 8);
+    }
+
+    #[test]
+    fn figure1_has_independence_number_four() {
+        let ex = mis_gen::figures::figure1();
+        assert_eq!(independence_number(&ex.graph), 4);
+    }
+
+    #[test]
+    fn result_is_always_independent() {
+        for seed in 0..10 {
+            let g = mis_gen::er::gnm(24, 60, seed);
+            let set = maximum_independent_set(&g);
+            assert!(is_independent_set(&g, &set), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dominates_every_heuristic() {
+        for seed in 0..10 {
+            let g = mis_gen::er::gnm(22, 45, seed);
+            let alpha = independence_number(&g);
+            let greedy = crate::greedy::Baseline::new().run(&g);
+            let dynamic = crate::dynamic::DynamicUpdate::new().run(&g);
+            assert!(greedy.set.len() <= alpha, "seed {seed}");
+            assert!(dynamic.set.len() <= alpha, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(maximum_independent_set(&CsrGraph::empty(0)).is_empty());
+        assert_eq!(maximum_independent_set(&CsrGraph::empty(1)), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn oversized_graph_panics() {
+        let _ = maximum_independent_set(&CsrGraph::empty(129));
+    }
+}

@@ -1,0 +1,405 @@
+//! Algorithm 2: the one-k-swap algorithm.
+//!
+//! Starting from a maximal independent set, repeatedly exchange one IS
+//! vertex `w` for `k ≥ 2` non-IS vertices whose only IS neighbour is `w`.
+//! Everything runs as sequential scans with six per-vertex states
+//! (Table 3 of the paper):
+//!
+//! | state | meaning |
+//! |---|---|
+//! | `I` | in the independent set |
+//! | `N` | not in the set |
+//! | `A` | non-IS, adjacent to exactly one IS vertex (a swap candidate) |
+//! | `P` | protected — will enter the set this round |
+//! | `C` | conflicted — lost this round's race to an adjacent `P` |
+//! | `R` | retrograde — IS vertex leaving the set this round |
+//!
+//! Each round is a **pre-swap** scan (detect 1-2 swap skeletons and
+//! conflicts; earlier records preempt later ones, which resolves swap
+//! conflicts deterministically), an in-memory **swap** (`P→I`, `R→N`; the
+//! paper phrases this as a third scan, but it touches no adjacency data,
+//! so this implementation performs it in memory — each round therefore
+//! costs two file scans, not three), and a **post-swap** scan
+//! (0↔1 swaps and re-derivation of `A` states for the next round).
+//!
+//! Skeleton detection uses the paper's `ISN`-reuse trick: for an IS vertex
+//! `w` the `ISN` slot holds `y = |ISN⁻¹(w)|`, the number of live `A`
+//! vertices pointing at `w`; a vertex `u` hosts a skeleton iff
+//! `y − 1 − x ≥ 1` where `x` counts `u`'s own A-neighbours pointing at
+//! `w` — an `O(deg u)` check with zero extra memory.
+
+use mis_graph::{GraphScan, VertexId};
+
+use crate::result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats};
+
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Vertex states; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum S {
+    /// In the independent set.
+    I,
+    /// Not in the set.
+    N,
+    /// Adjacent swap candidate.
+    A,
+    /// Protected (entering this round).
+    P,
+    /// Conflicted this round.
+    C,
+    /// Retrograde (leaving this round).
+    R,
+}
+
+/// The one-k-swap algorithm (Algorithm 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneKSwap {
+    config: SwapConfig,
+}
+
+impl OneKSwap {
+    /// With default configuration (run to fixpoint, `N` re-promotion on,
+    /// maximality finalisation on).
+    pub fn new() -> Self {
+        Self {
+            config: SwapConfig::default(),
+        }
+    }
+
+    /// With an explicit configuration.
+    pub fn with_config(config: SwapConfig) -> Self {
+        Self { config }
+    }
+
+    /// Enlarges `initial` (which must be an independent set of `graph`)
+    /// by one-k swaps.
+    pub fn run<G: GraphScan + ?Sized>(&self, graph: &G, initial: &[VertexId]) -> SwapOutcome {
+        let n = graph.num_vertices();
+        let mut state = vec![S::N; n];
+        let mut isn = vec![NONE; n];
+        for &v in initial {
+            state[v as usize] = S::I;
+            isn[v as usize] = 0; // count slot for IS vertices
+        }
+        let mut file_scans: u64 = 0;
+
+        // Lines 1–3: derive initial A states and ISN counts (one scan).
+        file_scans += 1;
+        graph
+            .scan(&mut |v, ns| {
+                if state[v as usize] != S::N {
+                    return;
+                }
+                let mut count = 0u32;
+                let mut is_nbr = NONE;
+                for &u in ns {
+                    if state[u as usize] == S::I {
+                        count += 1;
+                        is_nbr = u;
+                        if count > 1 {
+                            break;
+                        }
+                    }
+                }
+                if count == 1 {
+                    state[v as usize] = S::A;
+                    isn[v as usize] = is_nbr;
+                    isn[is_nbr as usize] += 1;
+                }
+            })
+            .expect("scan failed");
+
+        let mut stats = SwapStats {
+            initial_size: initial.len() as u64,
+            ..SwapStats::default()
+        };
+        let round_cap = self
+            .config
+            .max_rounds
+            .map(|r| r as usize)
+            .unwrap_or_else(|| n.max(16)); // worst case is n/3 rounds (Fig. 5)
+        let mut stagnant_rounds = 0u32;
+
+        let mut can_swap = true;
+        while can_swap && stats.rounds.len() < round_cap {
+            can_swap = false;
+            let mut round = RoundStats::default();
+
+            // ---- Pre-swap scan (lines 7–14). ----
+            file_scans += 1;
+            graph
+                .scan(&mut |u, ns| {
+                    if state[u as usize] != S::A {
+                        return;
+                    }
+                    // Case (i): a neighbour already protected this round.
+                    if ns.iter().any(|&nb| state[nb as usize] == S::P) {
+                        state[u as usize] = S::C;
+                        let w = isn[u as usize] as usize;
+                        if state[w] == S::I {
+                            isn[w] = isn[w].saturating_sub(1);
+                        }
+                        return;
+                    }
+                    let w = isn[u as usize] as usize;
+                    match state[w] {
+                        // Case (ii): a fresh 1-2 swap skeleton (u, v, w).
+                        S::I => {
+                            let y = isn[w];
+                            let x = ns
+                                .iter()
+                                .filter(|&&nb| {
+                                    state[nb as usize] == S::A && isn[nb as usize] == w as u32
+                                })
+                                .count() as u32;
+                            // Another A vertex with ISN = w, not u itself
+                            // and not adjacent to u, must exist.
+                            if y >= x + 2 {
+                                state[u as usize] = S::P;
+                                state[w] = S::R;
+                            }
+                        }
+                        // Case (iii): join a swap already in progress.
+                        S::R => state[u as usize] = S::P,
+                        _ => {}
+                    }
+                })
+                .expect("scan failed");
+
+            // ---- Swap phase (lines 15–19); in memory, no adjacency. ----
+            for v in 0..n {
+                match state[v] {
+                    S::P => {
+                        state[v] = S::I;
+                        isn[v] = 0;
+                        round.swapped_in += 1;
+                    }
+                    S::R => {
+                        state[v] = S::N;
+                        isn[v] = NONE;
+                        round.swapped_out += 1;
+                        can_swap = true;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Reset dependant counts before re-deriving A states.
+            for v in 0..n {
+                if state[v] == S::I {
+                    isn[v] = 0;
+                }
+            }
+
+            // ---- Post-swap scan (lines 20–28). ----
+            file_scans += 1;
+            graph
+                .scan(&mut |u, ns| {
+                    let s = state[u as usize];
+                    if s == S::I || s == S::P || s == S::R {
+                        return;
+                    }
+                    if s == S::N && !self.config.repromote_n {
+                        // Verbatim Algorithm 2: plain N vertices only get
+                        // the 0↔1 check.
+                        if ns
+                            .iter()
+                            .all(|&nb| matches!(state[nb as usize], S::C | S::N))
+                        {
+                            state[u as usize] = S::I;
+                            isn[u as usize] = 0;
+                            round.swapped_in += 1;
+                        }
+                        return;
+                    }
+                    // Re-derive A / N (and 0↔1) from current IS neighbours.
+                    let mut count = 0u32;
+                    let mut is_nbr = NONE;
+                    let mut all_cn = true;
+                    for &nb in ns {
+                        match state[nb as usize] {
+                            S::I => {
+                                count += 1;
+                                is_nbr = nb;
+                                all_cn = false;
+                            }
+                            S::C | S::N => {}
+                            _ => all_cn = false,
+                        }
+                    }
+                    if count == 1 {
+                        state[u as usize] = S::A;
+                        isn[u as usize] = is_nbr;
+                        isn[is_nbr as usize] += 1;
+                    } else {
+                        state[u as usize] = S::N;
+                        isn[u as usize] = NONE;
+                        if count == 0 && all_cn {
+                            state[u as usize] = S::I;
+                            isn[u as usize] = 0;
+                            round.swapped_in += 1;
+                        }
+                    }
+                })
+                .expect("scan failed");
+
+            if round.net_gain() <= 0 {
+                stagnant_rounds += 1;
+            } else {
+                stagnant_rounds = 0;
+            }
+            stats.rounds.push(round);
+            if stagnant_rounds >= 3 {
+                break; // degenerate size-neutral swaps; no progress possible
+            }
+        }
+
+        if self.config.finalize_maximal {
+            file_scans += 1;
+            finalize_maximal(graph, &mut state);
+        }
+
+        let set: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| state[v as usize] == S::I)
+            .collect();
+        stats.final_size = set.len() as u64;
+        SwapOutcome {
+            result: MisResult {
+                set,
+                file_scans,
+                memory: MemoryModel {
+                    state_bytes: n as u64,
+                    isn_bytes: 4 * n as u64,
+                    ..MemoryModel::default()
+                },
+            },
+            stats,
+        }
+    }
+}
+
+/// One relaxed 0↔1 pass: any vertex with no IS neighbour joins. Never
+/// removes vertices, guarantees maximality (shared with two-k-swap).
+pub(crate) fn finalize_maximal<G: GraphScan + ?Sized>(graph: &G, state: &mut [S]) {
+    graph
+        .scan(&mut |u, ns| {
+            if state[u as usize] != S::I && ns.iter().all(|&nb| state[nb as usize] != S::I) {
+                state[u as usize] = S::I;
+            }
+        })
+        .expect("scan failed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::Greedy;
+    use crate::verify::{is_independent_set, is_maximal_independent_set};
+    use mis_gen::figures;
+    use mis_graph::{CsrGraph, OrderedCsr};
+
+    fn run_figure(ex: &figures::FigureExample, config: SwapConfig) -> SwapOutcome {
+        let scan = match &ex.scan_order {
+            Some(order) => OrderedCsr::new(&ex.graph, order.clone()),
+            None => OrderedCsr::degree_sorted(&ex.graph),
+        };
+        OneKSwap::with_config(config).run(&scan, &ex.initial_is)
+    }
+
+    #[test]
+    fn figure1_swaps_hub_for_leaves() {
+        let ex = figures::figure1();
+        let out = run_figure(&ex, SwapConfig::default());
+        assert_eq!(out.result.set, ex.expected_is);
+    }
+
+    #[test]
+    fn figure2_conflict_lets_only_one_swap_fire() {
+        // Example 1: v1 ↔ {v2,v3} wins, v4's swap is conflicted away.
+        let ex = figures::figure2();
+        let out = run_figure(&ex, SwapConfig::default());
+        assert_eq!(out.result.set, ex.expected_is, "paper: final IS = {{v2,v3,v4}}");
+    }
+
+    #[test]
+    fn figure4_full_trace() {
+        // Example 2: two skeletons fire in round one; v5, v6, v10 are
+        // conflicted; final set is the paper's Figure 4(b).
+        let ex = figures::figure4();
+        let out = run_figure(&ex, SwapConfig::default());
+        assert_eq!(out.result.set, ex.expected_is);
+        // Both swaps were 1↔2: 4 in, 2 out in round 1.
+        assert_eq!(out.stats.rounds[0].swapped_in, 4);
+        assert_eq!(out.stats.rounds[0].swapped_out, 2);
+    }
+
+    #[test]
+    fn figure5_cascade_needs_three_rounds() {
+        let ex = figures::figure5();
+        let out = run_figure(&ex, SwapConfig::default());
+        assert_eq!(out.result.set, ex.expected_is);
+        // Rounds with actual swaps: 3 (plus one fixpoint-detection round).
+        let swap_rounds = out.stats.rounds.iter().filter(|r| r.swapped_out > 0).count();
+        assert_eq!(swap_rounds, 3, "cascade fires one block per round");
+    }
+
+    #[test]
+    fn figure5_verbatim_config_stalls() {
+        // Without N re-promotion the cascade cannot proceed past round 1 —
+        // this is why `repromote_n` defaults to true (DESIGN.md §5).
+        let ex = figures::figure5();
+        let out = run_figure(&ex, SwapConfig::verbatim());
+        let swap_rounds = out.stats.rounds.iter().filter(|r| r.swapped_out > 0).count();
+        assert_eq!(swap_rounds, 1);
+        assert_eq!(out.result.set.len(), 4); // 3 heads -> {tails of last block} + 2 heads
+    }
+
+    #[test]
+    fn swaps_never_shrink_the_set() {
+        let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.0).seed(5).generate();
+        let scan = OrderedCsr::degree_sorted(&g);
+        let greedy = Greedy::new().run(&scan);
+        let out = OneKSwap::new().run(&scan, &greedy.set);
+        assert!(out.result.set.len() >= greedy.set.len());
+        assert!(is_independent_set(&g, &out.result.set));
+        assert!(is_maximal_independent_set(&g, &out.result.set));
+        assert_eq!(out.stats.initial_size, greedy.set.len() as u64);
+        assert_eq!(out.stats.final_size, out.result.set.len() as u64);
+    }
+
+    #[test]
+    fn early_stop_limits_rounds() {
+        let ex = figures::figure5();
+        let scan = OrderedCsr::degree_sorted(&ex.graph);
+        let out = OneKSwap::with_config(SwapConfig::early_stop(1)).run(&scan, &ex.initial_is);
+        assert_eq!(out.stats.num_rounds(), 1);
+        assert!(is_independent_set(&ex.graph, &out.result.set));
+    }
+
+    #[test]
+    fn empty_initial_set_grows_to_maximal() {
+        // With finalize_maximal the result is maximal even from nothing.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scan = OrderedCsr::degree_sorted(&g);
+        let out = OneKSwap::new().run(&scan, &[]);
+        assert!(is_maximal_independent_set(&g, &out.result.set));
+    }
+
+    #[test]
+    fn memory_model_is_five_bytes_per_vertex() {
+        let g = CsrGraph::empty(100);
+        let out = OneKSwap::new().run(&g, &[]);
+        assert_eq!(out.result.memory.state_bytes, 100);
+        assert_eq!(out.result.memory.isn_bytes, 400);
+    }
+
+    #[test]
+    fn scan_counts_are_reported() {
+        let ex = figures::figure2();
+        let out = run_figure(&ex, SwapConfig::default());
+        // init + 2 per round + finalize.
+        let expected = 1 + 2 * out.stats.num_rounds() as u64 + 1;
+        assert_eq!(out.result.file_scans, expected);
+    }
+}

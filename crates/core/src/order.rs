@@ -1,0 +1,45 @@
+//! Scan-order helpers.
+
+use mis_graph::{GraphScan, VertexId};
+
+/// Ascending `(degree, id)` order of all vertices, computed with one scan
+/// and `O(|V|)` memory — the record order Algorithm 1's preprocessing
+/// produces on disk. Use with [`mis_graph::OrderedCsr`] to emulate the
+/// degree-sorted file in memory.
+pub fn degree_order<G: GraphScan + ?Sized>(graph: &G) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let mut degrees: Vec<u32> = vec![0; n];
+    graph
+        .scan(&mut |v, ns| degrees[v as usize] = ns.len() as u32)
+        .expect("scan failed");
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by_key(|&v| (degrees[v as usize], v));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::CsrGraph;
+
+    #[test]
+    fn orders_by_degree_then_id() {
+        // Degrees: 0→3, 1→1, 2→2, 3→1, 4→1.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (2, 4)]);
+        assert_eq!(degree_order(&g), vec![1, 3, 4, 2, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        assert!(degree_order(&g).is_empty());
+    }
+
+    #[test]
+    fn matches_ordered_csr_helper() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2)]);
+        let ours = degree_order(&g);
+        let theirs = mis_graph::OrderedCsr::degree_sorted(&g);
+        assert_eq!(ours, theirs.order());
+    }
+}

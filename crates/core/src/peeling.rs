@@ -1,0 +1,366 @@
+//! Semi-external reducing-peeling: exact degree-0/degree-1 reductions.
+//!
+//! The reducing-peeling framework that later MIS solvers built on top of
+//! this paper (Chang, Li, Qin — SIGMOD'17 — cite it directly) starts from
+//! one observation: some vertices are in a maximum independent set *for
+//! sure*. Two classic exact reductions need only a residual-degree array
+//! (`O(|V|)` memory, allowed by the semi-external model) plus sequential
+//! scans:
+//!
+//! * **degree 0** — an isolated vertex is in some maximum IS: include it;
+//! * **degree 1** — a pendant vertex `v` with neighbour `u` is in some
+//!   maximum IS (swapping `u` out for `v` never loses): include `v`,
+//!   exclude `u`. `α(G) = 1 + α(G − {v, u})`.
+//!
+//! Exclusions are *deferred*: excluding `u` needs `u`'s neighbour list to
+//! decrement residual degrees, which is only in memory when `u`'s record
+//! passes — so a vertex is marked pending and settled on a later record
+//! visit, keeping every pass strictly sequential. Peeling iterates until
+//! a fixpoint; the surviving *kernel* is handed to Greedy + swaps, and
+//! the included vertices are provably part of an optimum extension of
+//! whatever the kernel solver finds.
+//!
+//! On forests peeling alone is **exact** (every tree peels to nothing);
+//! on power-law graphs it settles a large fraction of `|V|` before any
+//! heuristic runs — both covered by tests.
+
+use std::io;
+
+use mis_graph::{GraphScan, VertexId};
+
+use crate::greedy::Greedy;
+use crate::result::{MisResult, SwapConfig};
+use crate::twok::TwoKSwap;
+
+/// Per-vertex peeling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum P {
+    /// Still undecided; part of the (shrinking) kernel.
+    Active,
+    /// Provably in some maximum independent set.
+    Included,
+    /// Excluded; residual-degree updates for its neighbours still owed.
+    ExcludedPending,
+    /// Excluded and fully settled.
+    Excluded,
+}
+
+/// Result of the peeling phase.
+#[derive(Debug, Clone)]
+pub struct PeelOutcome {
+    /// Vertices provably in a maximum independent set, sorted.
+    pub included: Vec<VertexId>,
+    /// Vertices provably excluded.
+    pub excluded: u64,
+    /// Vertices left in the kernel.
+    pub kernel_vertices: u64,
+    /// Sequential scans used.
+    pub scans: u64,
+}
+
+/// Runs degree-0/degree-1 peeling to a fixpoint (or `max_scans`).
+pub fn peel<G: GraphScan + ?Sized>(graph: &G, max_scans: Option<u64>) -> PeelOutcome {
+    let n = graph.num_vertices();
+    let mut state = vec![P::Active; n];
+    let mut residual: Vec<u32> = vec![0; n];
+
+    // Scan 1: residual degrees.
+    graph
+        .scan(&mut |v, ns| residual[v as usize] = ns.len() as u32)
+        .expect("scan failed");
+    let mut scans: u64 = 1;
+    let cap = max_scans.unwrap_or(n as u64 + 2).max(2);
+
+    let mut changed = true;
+    while changed && scans < cap {
+        changed = false;
+        scans += 1;
+        graph
+            .scan(&mut |v, ns| {
+                match state[v as usize] {
+                    P::ExcludedPending => {
+                        // Settle the deferred exclusion: this record's
+                        // neighbour list is in memory now.
+                        for &u in ns {
+                            if state[u as usize] == P::Active {
+                                residual[u as usize] = residual[u as usize].saturating_sub(1);
+                            }
+                        }
+                        state[v as usize] = P::Excluded;
+                        changed = true;
+                    }
+                    P::Active => match residual[v as usize] {
+                        0 => {
+                            state[v as usize] = P::Included;
+                            changed = true;
+                        }
+                        1 => {
+                            // Find the single active neighbour and exclude
+                            // it (deferred).
+                            let partner = ns
+                                .iter()
+                                .copied()
+                                .find(|&u| state[u as usize] == P::Active);
+                            if let Some(u) = partner {
+                                state[v as usize] = P::Included;
+                                state[u as usize] = P::ExcludedPending;
+                                // v itself leaves: u's residual loses v,
+                                // settled when u's pending record passes
+                                // (u's list naturally skips non-active v).
+                                changed = true;
+                            } else {
+                                // Stale count (neighbour settled this
+                                // scan): treat as isolated.
+                                state[v as usize] = P::Included;
+                                changed = true;
+                            }
+                        }
+                        _ => {}
+                    },
+                    _ => {}
+                }
+            })
+            .expect("scan failed");
+    }
+
+    let included: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| state[v as usize] == P::Included)
+        .collect();
+    let excluded = state
+        .iter()
+        .filter(|&&s| matches!(s, P::Excluded | P::ExcludedPending))
+        .count() as u64;
+    let kernel_vertices = state.iter().filter(|&&s| s == P::Active).count() as u64;
+    PeelOutcome {
+        included,
+        excluded,
+        kernel_vertices,
+        scans,
+    }
+}
+
+/// A scan restricted to the kernel: non-kernel records are skipped and
+/// non-kernel neighbours filtered out of every list.
+struct KernelScan<'a, G: GraphScan + ?Sized> {
+    base: &'a G,
+    alive: Vec<bool>,
+    kernel_edges: u64,
+}
+
+impl<'a, G: GraphScan + ?Sized> KernelScan<'a, G> {
+    fn new(base: &'a G, alive: Vec<bool>) -> io::Result<Self> {
+        let mut kernel_edges = 0u64;
+        base.scan(&mut |v, ns| {
+            if alive[v as usize] {
+                kernel_edges += ns.iter().filter(|&&u| alive[u as usize]).count() as u64;
+            }
+        })?;
+        Ok(Self {
+            base,
+            alive,
+            kernel_edges: kernel_edges / 2,
+        })
+    }
+}
+
+impl<G: GraphScan + ?Sized> GraphScan for KernelScan<'_, G> {
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.kernel_edges
+    }
+
+    fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
+        let mut filtered: Vec<VertexId> = Vec::new();
+        self.base.scan(&mut |v, ns| {
+            if !self.alive[v as usize] {
+                return;
+            }
+            filtered.clear();
+            filtered.extend(ns.iter().copied().filter(|&u| self.alive[u as usize]));
+            f(v, &filtered);
+        })
+    }
+
+    fn storage(&self) -> &'static str {
+        "kernel"
+    }
+}
+
+/// Peel, solve the kernel with Greedy + Two-k-swap, and merge.
+///
+/// The peeled inclusions are exact, so the combined set inherits the
+/// kernel solver's quality on a *smaller* input — the reducing-peeling
+/// recipe.
+pub fn peel_and_solve<G: GraphScan + ?Sized>(graph: &G, config: SwapConfig) -> (MisResult, PeelOutcome) {
+    let n = graph.num_vertices();
+    let outcome = peel(graph, None);
+    let mut alive = vec![false; n];
+    let mut decided = vec![false; n];
+    for &v in &outcome.included {
+        decided[v as usize] = true;
+    }
+    // Everything not included must be either excluded or kernel; recompute
+    // kernel membership from the outcome by a scan-free route: kernel =
+    // not included and not excluded. Rebuild via residual peel state:
+    // peel() already counted them; reconstruct by re-running its final
+    // classification cheaply from `included` + excluded set membership.
+    // Simpler and exact: a vertex is kernel iff it is not included and
+    // has at least one... — we track it directly instead:
+    let kernel_flags = kernel_membership(graph, &outcome);
+    for (v, &is_kernel) in kernel_flags.iter().enumerate() {
+        alive[v] = is_kernel;
+        debug_assert!(!(is_kernel && decided[v]));
+    }
+
+    let kernel = KernelScan::new(graph, alive).expect("kernel scan failed");
+    let greedy = Greedy::new().run(&kernel);
+    let swapped = TwoKSwap::with_config(config).run(&kernel, &greedy.set);
+
+    let mut set = outcome.included.clone();
+    set.extend_from_slice(&swapped.result.set);
+    set.sort_unstable();
+    set.dedup();
+    let scans = outcome.scans + 2 + greedy.file_scans + swapped.result.file_scans;
+    let mut memory = swapped.result.memory;
+    memory.aux_bytes += 4 * n as u64 + n as u64; // residual degrees + peel state
+    (
+        MisResult {
+            set,
+            file_scans: scans,
+            memory,
+        },
+        outcome,
+    )
+}
+
+/// Recomputes kernel membership (not included, not dominated by an
+/// included neighbour) with one scan.
+fn kernel_membership<G: GraphScan + ?Sized>(graph: &G, outcome: &PeelOutcome) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut included = vec![false; n];
+    for &v in &outcome.included {
+        included[v as usize] = true;
+    }
+    let mut kernel = vec![false; n];
+    graph
+        .scan(&mut |v, ns| {
+            if !included[v as usize] && !ns.iter().any(|&u| included[u as usize]) {
+                kernel[v as usize] = true;
+            }
+        })
+        .expect("scan failed");
+    kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::independence_number;
+    use crate::verify::{is_independent_set, is_maximal_independent_set};
+    use mis_graph::{CsrGraph, OrderedCsr};
+
+    #[test]
+    fn isolated_vertices_are_included() {
+        let g = CsrGraph::empty(5);
+        let out = peel(&g, None);
+        assert_eq!(out.included, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.kernel_vertices, 0);
+    }
+
+    #[test]
+    fn star_peels_exactly() {
+        let g = mis_gen::special::star(5);
+        let out = peel(&g, None);
+        assert_eq!(out.included, vec![1, 2, 3, 4, 5]);
+        assert_eq!(out.excluded, 1);
+        assert_eq!(out.kernel_vertices, 0);
+    }
+
+    #[test]
+    fn paths_and_trees_peel_to_optimality() {
+        // Peeling alone is exact on forests.
+        for n in [2usize, 3, 5, 8, 13] {
+            let g = mis_gen::special::path(n);
+            let out = peel(&g, None);
+            assert_eq!(out.kernel_vertices, 0, "P{n} must peel completely");
+            assert_eq!(out.included.len(), n.div_ceil(2), "P{n}");
+            assert!(is_independent_set(&g, &out.included));
+        }
+    }
+
+    #[test]
+    fn cycles_resist_peeling() {
+        // Every vertex of a cycle has degree 2: nothing peels.
+        let g = mis_gen::special::cycle(8);
+        let out = peel(&g, None);
+        assert!(out.included.is_empty());
+        assert_eq!(out.kernel_vertices, 8);
+    }
+
+    #[test]
+    fn peeled_inclusions_are_safe() {
+        // On small graphs: included ⊆ some maximum IS, i.e.
+        // |included| + α(kernel) == α(G).
+        for seed in 0..15 {
+            let g = mis_gen::er::gnm(18, 20, seed); // sparse: lots of pendants
+            let out = peel(&g, None);
+            let alpha = independence_number(&g);
+            let kernel_flags = kernel_membership(&g, &out);
+            // Build the kernel subgraph for the oracle.
+            let mut edges = Vec::new();
+            for (u, v) in g.edges() {
+                if kernel_flags[u as usize] && kernel_flags[v as usize] {
+                    edges.push((u, v));
+                }
+            }
+            let kernel_graph = CsrGraph::from_edges(g.num_vertices(), &edges);
+            // Count only kernel vertices in its α: the non-kernel vertices
+            // appear isolated in kernel_graph and would inflate it.
+            let kernel_alpha = crate::exact::maximum_independent_set(&kernel_graph)
+                .iter()
+                .filter(|&&v| kernel_flags[v as usize])
+                .count();
+            assert_eq!(
+                out.included.len() + kernel_alpha,
+                alpha,
+                "seed {seed}: peeling must preserve optimality"
+            );
+        }
+    }
+
+    #[test]
+    fn peel_and_solve_end_to_end() {
+        let g = mis_gen::plrg::Plrg::with_vertices(5_000, 2.2).seed(6).generate();
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let (result, outcome) = peel_and_solve(&sorted, SwapConfig::default());
+        assert!(is_independent_set(&g, &result.set));
+        assert!(is_maximal_independent_set(&g, &result.set));
+        // Power-law graphs have huge pendant fringes: peeling must settle
+        // a significant share before the heuristic runs.
+        assert!(
+            outcome.included.len() * 3 > g.num_vertices(),
+            "only {} of {} peeled",
+            outcome.included.len(),
+            g.num_vertices()
+        );
+        // And never worse than the plain pipeline.
+        let greedy = Greedy::new().run(&sorted);
+        let plain = TwoKSwap::new().run(&sorted, &greedy.set);
+        assert!(
+            result.set.len() + 1 >= plain.result.set.len(),
+            "peel+solve {} vs plain {}",
+            result.set.len(),
+            plain.result.set.len()
+        );
+    }
+
+    #[test]
+    fn peel_scan_budget_is_respected() {
+        let g = mis_gen::special::path(100);
+        let out = peel(&g, Some(3));
+        assert!(out.scans <= 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! Results, configuration and instrumentation shared by the algorithms.
+
+use mis_graph::VertexId;
+
+/// Output of an independent-set algorithm.
+#[derive(Debug, Clone)]
+pub struct MisResult {
+    /// The independent set, sorted ascending.
+    pub set: Vec<VertexId>,
+    /// Number of full file scans the computation performed.
+    pub file_scans: u64,
+    /// In-memory footprint of the algorithm's own state (see
+    /// [`MemoryModel`]); excludes the graph itself, which lives on disk in
+    /// the semi-external model.
+    pub memory: MemoryModel,
+}
+
+impl MisResult {
+    /// Size of the independent set.
+    pub fn size(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// Byte-exact model of an algorithm's in-memory state, mirroring how the
+/// paper reports memory cost (Table 6): the state array, the ISN
+/// structure, and two-k-swap's SC sets at their peak.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// One byte per vertex of state machine (`{I,N,A,P,C,R}` or greedy's
+    /// three states).
+    pub state_bytes: u64,
+    /// ISN structure: 4 bytes per vertex per slot (one slot for one-k,
+    /// two for two-k).
+    pub isn_bytes: u64,
+    /// Peak bytes held in SC sets (two-k-swap only).
+    pub sc_peak_bytes: u64,
+    /// Auxiliary structures (external priority queue budget, degree
+    /// arrays, …) where applicable.
+    pub aux_bytes: u64,
+}
+
+impl MemoryModel {
+    /// Total modelled bytes.
+    pub fn total(&self) -> u64 {
+        self.state_bytes + self.isn_bytes + self.sc_peak_bytes + self.aux_bytes
+    }
+}
+
+/// Tuning knobs for the one-k and two-k swap algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapConfig {
+    /// Stop after this many rounds even if more swaps are possible
+    /// (`None` = run to fixpoint, bounded by the `|V|`-round worst case).
+    /// Table 8's "early stop" rows use `Some(1..=3)`.
+    pub max_rounds: Option<u32>,
+    /// Re-promote plain `N` vertices to `A` in the post-swap phase when
+    /// they have the right number of IS neighbours.
+    ///
+    /// Algorithm 2's pseudo-code re-evaluates only `C`/`A` vertices, but
+    /// the paper's own Figure 5 cascade requires `N` vertices to become
+    /// swappable in later rounds (and Algorithm 3 does re-evaluate `N`),
+    /// so this defaults to `true`; setting it `false` reproduces the
+    /// pseudo-code verbatim (see DESIGN.md §5 and the `repro ablation`
+    /// bench).
+    pub repromote_n: bool,
+    /// Append one relaxed 0↔1 pass at the end so the returned set is
+    /// always maximal (never removes vertices; costs one extra scan).
+    pub finalize_maximal: bool,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: None,
+            repromote_n: true,
+            finalize_maximal: true,
+        }
+    }
+}
+
+impl SwapConfig {
+    /// The paper's early-stop configuration (Table 8): at most `rounds`
+    /// rounds.
+    pub fn early_stop(rounds: u32) -> Self {
+        Self {
+            max_rounds: Some(rounds),
+            ..Self::default()
+        }
+    }
+
+    /// Verbatim Algorithm 2 semantics (no `N` re-promotion, no finalise).
+    pub fn verbatim() -> Self {
+        Self {
+            max_rounds: None,
+            repromote_n: false,
+            finalize_maximal: false,
+        }
+    }
+}
+
+/// Instrumentation of one swap round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Vertices that entered the independent set this round.
+    pub swapped_in: u64,
+    /// Vertices that left the independent set this round.
+    pub swapped_out: u64,
+    /// Peak number of vertices held in SC sets during the round
+    /// (two-k-swap only).
+    pub sc_peak_vertices: u64,
+}
+
+impl RoundStats {
+    /// Net change of the independent-set size.
+    pub fn net_gain(&self) -> i64 {
+        self.swapped_in as i64 - self.swapped_out as i64
+    }
+}
+
+/// Instrumentation of a whole swap run (feeds Tables 7 and 8 and
+/// Figure 10).
+#[derive(Debug, Clone, Default)]
+pub struct SwapStats {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundStats>,
+    /// Size of the initial independent set.
+    pub initial_size: u64,
+    /// Size of the final independent set.
+    pub final_size: u64,
+    /// Peak SC vertex count over all rounds (two-k-swap only).
+    pub sc_peak_vertices: u64,
+}
+
+impl SwapStats {
+    /// Number of rounds executed (the paper's Table 7 metric).
+    pub fn num_rounds(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// Total vertices swapped into the set across all rounds.
+    pub fn total_swapped_in(&self) -> u64 {
+        self.rounds.iter().map(|r| r.swapped_in).sum()
+    }
+
+    /// Cumulative swapped-in count after the first `k` rounds, as a
+    /// fraction of the total — the paper's Table 8 "swap ratio".
+    pub fn swap_ratio_after(&self, k: usize) -> f64 {
+        let total = self.total_swapped_in();
+        if total == 0 {
+            return 1.0;
+        }
+        let head: u64 = self.rounds.iter().take(k).map(|r| r.swapped_in).sum();
+        head as f64 / total as f64
+    }
+}
+
+/// A swap-algorithm result: the set plus the per-round statistics.
+#[derive(Debug, Clone)]
+pub struct SwapOutcome {
+    /// The independent set and resource accounting.
+    pub result: MisResult,
+    /// Per-round swap statistics.
+    pub stats: SwapStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_total_sums_components() {
+        let m = MemoryModel {
+            state_bytes: 10,
+            isn_bytes: 40,
+            sc_peak_bytes: 5,
+            aux_bytes: 1,
+        };
+        assert_eq!(m.total(), 56);
+    }
+
+    #[test]
+    fn swap_ratio_handles_empty_and_partial() {
+        let mut stats = SwapStats::default();
+        assert_eq!(stats.swap_ratio_after(3), 1.0);
+        stats.rounds = vec![
+            RoundStats { swapped_in: 70, swapped_out: 35, sc_peak_vertices: 0 },
+            RoundStats { swapped_in: 20, swapped_out: 10, sc_peak_vertices: 0 },
+            RoundStats { swapped_in: 10, swapped_out: 5, sc_peak_vertices: 0 },
+        ];
+        assert_eq!(stats.total_swapped_in(), 100);
+        assert!((stats.swap_ratio_after(1) - 0.7).abs() < 1e-12);
+        assert!((stats.swap_ratio_after(2) - 0.9).abs() < 1e-12);
+        assert_eq!(stats.swap_ratio_after(10), 1.0);
+        assert_eq!(stats.num_rounds(), 3);
+    }
+
+    #[test]
+    fn round_net_gain() {
+        let r = RoundStats { swapped_in: 5, swapped_out: 2, sc_peak_vertices: 0 };
+        assert_eq!(r.net_gain(), 3);
+    }
+
+    #[test]
+    fn default_config_is_paper_plus_fixes() {
+        let c = SwapConfig::default();
+        assert!(c.repromote_n);
+        assert!(c.finalize_maximal);
+        assert!(c.max_rounds.is_none());
+        let v = SwapConfig::verbatim();
+        assert!(!v.repromote_n);
+        assert!(!v.finalize_maximal);
+        assert_eq!(SwapConfig::early_stop(3).max_rounds, Some(3));
+    }
+}

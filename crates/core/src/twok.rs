@@ -1,0 +1,726 @@
+//! Algorithms 3–4: the two-k-swap algorithm.
+//!
+//! Extends one-k-swap with 2↔k exchanges: two IS vertices `w1, w2` leave
+//! together when three (or more) mutually non-adjacent vertices whose IS
+//! neighbourhoods are contained in `{w1, w2}` can replace them. State `A`
+//! now covers non-IS vertices with one **or two** IS neighbours; the
+//! per-pair *swap candidate* sets `SC(w1, w2)` of Definition 2 collect
+//! verified non-adjacent candidate pairs, and a *2-3 swap skeleton*
+//! (Definition 3) fires when a third compatible vertex arrives.
+//!
+//! ## Soundness under sequential scanning
+//!
+//! A fired skeleton involves two vertices whose records were scanned
+//! *earlier* (`a, b` of the stored pair) — their current neighbourhoods
+//! are no longer in memory, so marking them `P` directly could put two
+//! adjacent vertices into the set (if some vertex adjacent to `a` was
+//! protected after `a`'s record passed). Instead this implementation
+//! **nominates** them: they are conflicted out of further candidacy for
+//! the round (`C` + a nomination flag) and join during the post-swap scan
+//! — where their full neighbour list is back in memory — iff they still
+//! have no IS neighbour. In the normal case this completes the paper's
+//! 2↔k swap exactly (see the Figure 7 regression test); in the rare
+//! interleaving where a nominee got blocked the round could shrink the
+//! set, which is caught by a snapshot/rollback guard. DESIGN.md §5
+//! documents this deviation.
+
+use mis_graph::hash::{FxHashMap, FxHashSet};
+use mis_graph::{GraphScan, VertexId};
+
+use crate::onek::{finalize_maximal, NONE, S};
+use crate::result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats};
+
+/// Cap on stored candidate pairs per `(w1, w2)` entry. One valid pair is
+/// enough to fire a skeleton; keeping a few tolerates pairs whose members
+/// are adjacent to (or conflicted away from) a later third vertex, while
+/// bounding SC memory. Figure 10's `|SC|` counts the distinct vertices
+/// held in SC entries — registered fulls plus pair members — per round
+/// (the paper's Lemma 6 metric), tracked via [`Run::mark_sc`].
+const PAIR_CAP: usize = 16;
+
+/// Per-IS-pair swap-candidate entry.
+#[derive(Debug, Default)]
+struct ScEntry {
+    /// Verified-non-adjacent candidate pairs `(full, other)`.
+    pairs: Vec<(u32, u32)>,
+    /// Scanned `A` vertices with `ISN = {w1, w2}` (pair-element "fulls").
+    fulls: Vec<u32>,
+}
+
+/// The two-k-swap algorithm (Algorithms 3 and 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoKSwap {
+    config: SwapConfig,
+}
+
+/// Scratch state for one run.
+struct Run {
+    state: Vec<S>,
+    /// First IS neighbour (for `A`), or dependant count (for `I`), or
+    /// `NONE`.
+    isn1: Vec<u32>,
+    /// Second IS neighbour (for `A` with two IS neighbours), else `NONE`.
+    isn2: Vec<u32>,
+    /// Nominated-to-join flags for the current round.
+    nominated: Vec<bool>,
+    /// Round epoch in which each vertex last entered a stored SC pair
+    /// (Figure 10 counts *distinct vertices held in SC sets*, the paper's
+    /// Lemma 6 metric).
+    sc_epoch: Vec<u32>,
+    /// Current round epoch.
+    epoch: u32,
+    /// Distinct vertices in SC pairs this round.
+    sc_distinct: u64,
+}
+
+impl Run {
+    /// Records `v` as a member of a stored SC pair this round.
+    fn mark_sc(&mut self, v: u32) {
+        if self.sc_epoch[v as usize] != self.epoch {
+            self.sc_epoch[v as usize] = self.epoch;
+            self.sc_distinct += 1;
+        }
+    }
+}
+
+impl Run {
+    fn is_singleton_a(&self, v: u32) -> bool {
+        self.state[v as usize] == S::A && self.isn2[v as usize] == NONE
+    }
+}
+
+impl TwoKSwap {
+    /// With default configuration.
+    pub fn new() -> Self {
+        Self {
+            config: SwapConfig::default(),
+        }
+    }
+
+    /// With an explicit configuration.
+    pub fn with_config(config: SwapConfig) -> Self {
+        Self { config }
+    }
+
+    /// Enlarges `initial` (an independent set of `graph`) by two-k and
+    /// one-k swaps.
+    pub fn run<G: GraphScan + ?Sized>(&self, graph: &G, initial: &[VertexId]) -> SwapOutcome {
+        let n = graph.num_vertices();
+        let mut run = Run {
+            state: vec![S::N; n],
+            isn1: vec![NONE; n],
+            isn2: vec![NONE; n],
+            nominated: vec![false; n],
+            sc_epoch: vec![0; n],
+            epoch: 0,
+            sc_distinct: 0,
+        };
+        for &v in initial {
+            run.state[v as usize] = S::I;
+            run.isn1[v as usize] = 0;
+        }
+        let mut file_scans: u64 = 0;
+
+        // Lines 1–3: initial A states (one or two IS neighbours).
+        file_scans += 1;
+        let rs = &mut run;
+        graph
+            .scan(&mut |v, ns| {
+                if rs.state[v as usize] != S::N {
+                    return;
+                }
+                assign_a_state(rs, v, ns);
+            })
+            .expect("scan failed");
+
+        let mut stats = SwapStats {
+            initial_size: initial.len() as u64,
+            ..SwapStats::default()
+        };
+        let round_cap = self
+            .config
+            .max_rounds
+            .map(|r| r as usize)
+            .unwrap_or_else(|| n.max(16));
+        let mut stagnant_rounds = 0u32;
+        let mut sc_peak_bytes: u64 = 0;
+        let mut current_size = initial.len() as u64;
+
+        let mut can_swap = true;
+        while can_swap && stats.rounds.len() < round_cap {
+            can_swap = false;
+            let mut round = RoundStats::default();
+            run.epoch = run.epoch.wrapping_add(1);
+            run.sc_distinct = 0;
+
+            // Snapshot for the shrink guard (O(|V|) memory, allowed).
+            let snapshot: Option<(Vec<S>, Vec<u32>, Vec<u32>)> = Some((
+                run.state.clone(),
+                run.isn1.clone(),
+                run.isn2.clone(),
+            ));
+
+            // ---- Pre-swap scan (Algorithm 4 per A vertex). ----
+            let mut sc: FxHashMap<(u32, u32), ScEntry> = FxHashMap::default();
+            let mut half_index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+            let mut keys_by_w: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
+            let mut sc_vertices: u64 = 0;
+            let mut sc_pairs: u64 = 0;
+            let mut nbr_set: FxHashSet<u32> = FxHashSet::default();
+
+            file_scans += 1;
+            let rs = &mut run;
+            graph
+                .scan(&mut |u, ns| {
+                    if rs.state[u as usize] != S::A {
+                        return;
+                    }
+                    // Case (i): conflict with an already-protected vertex.
+                    if ns.iter().any(|&nb| rs.state[nb as usize] == S::P) {
+                        to_conflicted(rs, u);
+                        return;
+                    }
+                    let w1 = rs.isn1[u as usize];
+                    let w2 = rs.isn2[u as usize];
+                    nbr_set.clear();
+                    nbr_set.extend(ns.iter().copied());
+
+                    if w2 == NONE {
+                        // Singleton A vertex (one IS neighbour w1).
+                        match rs.state[w1 as usize] {
+                            S::R => {
+                                // Case (iv): all IS neighbours retreating.
+                                rs.state[u as usize] = S::P;
+                            }
+                            S::I => {
+                                // 1-2 skeleton via the ISN count trick.
+                                let y = rs.isn1[w1 as usize];
+                                let x = ns
+                                    .iter()
+                                    .filter(|&&nb| {
+                                        rs.is_singleton_a(nb) && rs.isn1[nb as usize] == w1
+                                    })
+                                    .count() as u32;
+                                if y >= x + 2 {
+                                    rs.state[u as usize] = S::P;
+                                    rs.state[w1 as usize] = S::R;
+                                    return;
+                                }
+                                // 2-3 skeleton as the third vertex of any
+                                // key containing w1.
+                                if let Some(keys) = keys_by_w.get(&w1) {
+                                    for &key in keys {
+                                        if rs.state[key.0 as usize] != S::I
+                                            || rs.state[key.1 as usize] != S::I
+                                        {
+                                            continue;
+                                        }
+                                        if let Some(entry) = sc.get(&key) {
+                                            if fire_if_pair_found(rs, entry, u, &nbr_set, key) {
+                                                return;
+                                            }
+                                        }
+                                    }
+                                }
+                                // Pair up with scanned fulls of keys
+                                // containing w1, then register as a half.
+                                if let Some(keys) = keys_by_w.get(&w1) {
+                                    for key in keys.clone() {
+                                        if rs.state[key.0 as usize] != S::I
+                                            || rs.state[key.1 as usize] != S::I
+                                        {
+                                            continue;
+                                        }
+                                        if let Some(entry) = sc.get_mut(&key) {
+                                            add_pairs_with_fulls(
+                                                rs, entry, u, &nbr_set, &mut sc_pairs,
+                                            );
+                                        }
+                                    }
+                                }
+                                half_index.entry(w1).or_default().push(u);
+                                sc_vertices += 1;
+                            }
+                            _ => {}
+                        }
+                    } else {
+                        // Full A vertex: ISN = {w1, w2}.
+                        let s1 = rs.state[w1 as usize];
+                        let s2 = rs.state[w2 as usize];
+                        if s1 == S::R && s2 == S::R {
+                            rs.state[u as usize] = S::P; // case (iv)
+                            return;
+                        }
+                        if s1 != S::I || s2 != S::I {
+                            return; // one neighbour stays: u cannot move yet
+                        }
+                        let key = (w1.min(w2), w1.max(w2));
+                        if let Some(entry) = sc.get(&key) {
+                            if fire_if_pair_found(rs, entry, u, &nbr_set, key) {
+                                return;
+                            }
+                        }
+                        // Register u as a full and pair it with previously
+                        // scanned compatible candidates.
+                        let fresh = !sc.contains_key(&key);
+                        let entry = sc.entry(key).or_default();
+                        if fresh {
+                            keys_by_w.entry(key.0).or_default().push(key);
+                            keys_by_w.entry(key.1).or_default().push(key);
+                        }
+                        // Halves of w1 and w2 …
+                        for w in [key.0, key.1] {
+                            if let Some(halves) = half_index.get(&w) {
+                                for &h in halves {
+                                    if entry.pairs.len() >= PAIR_CAP {
+                                        break;
+                                    }
+                                    if rs.is_singleton_a(h) && !nbr_set.contains(&h) {
+                                        entry.pairs.push((u, h));
+                                        sc_pairs += 1;
+                                        rs.mark_sc(u);
+                                        rs.mark_sc(h);
+                                    }
+                                }
+                            }
+                        }
+                        // … and other fulls of the same key.
+                        add_pairs_with_fulls(rs, entry, u, &nbr_set, &mut sc_pairs);
+                        entry.fulls.push(u);
+                        rs.mark_sc(u);
+                        sc_vertices += 1;
+                    }
+                })
+                .expect("scan failed");
+
+            round.sc_peak_vertices = run.sc_distinct;
+            stats.sc_peak_vertices = stats.sc_peak_vertices.max(run.sc_distinct);
+            sc_peak_bytes = sc_peak_bytes.max(4 * sc_vertices + 8 * sc_pairs);
+            drop(sc);
+            drop(half_index);
+            drop(keys_by_w);
+
+            // ---- Swap phase (in memory). ----
+            for v in 0..n {
+                match run.state[v] {
+                    S::P => {
+                        run.state[v] = S::I;
+                        run.isn1[v] = 0;
+                        run.isn2[v] = NONE;
+                        round.swapped_in += 1;
+                    }
+                    S::R => {
+                        run.state[v] = S::N;
+                        run.isn1[v] = NONE;
+                        run.isn2[v] = NONE;
+                        round.swapped_out += 1;
+                        can_swap = true;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Reset dependant counts before re-deriving A states.
+            for v in 0..n {
+                if run.state[v] == S::I {
+                    run.isn1[v] = 0;
+                }
+            }
+
+            // ---- Post-swap scan (Algorithm 3 lines 15–23). ----
+            file_scans += 1;
+            let rs = &mut run;
+            let round_ref = &mut round;
+            // Records already passed by this scan; needed so a nominee
+            // joining mid-scan can repair the ISN state of *earlier*
+            // neighbours (later records re-derive their state anyway).
+            let mut seen = vec![false; n];
+            graph
+                .scan(&mut |u, ns| {
+                    seen[u as usize] = true;
+                    let s = rs.state[u as usize];
+                    if s == S::I {
+                        return;
+                    }
+                    // Nominated vertices complete their 2↔k swap here,
+                    // with the full neighbour list in memory.
+                    if rs.nominated[u as usize]
+                        && ns.iter().all(|&nb| rs.state[nb as usize] != S::I)
+                    {
+                        rs.state[u as usize] = S::I;
+                        rs.isn1[u as usize] = 0;
+                        rs.isn2[u as usize] = NONE;
+                        rs.nominated[u as usize] = false;
+                        round_ref.swapped_in += 1;
+                        // Repair neighbours whose A state was derived
+                        // before this join: u is now one of their IS
+                        // neighbours. Without this, an earlier-scanned
+                        // vertex could fire a 1-2 swap next round while
+                        // secretly adjacent to u — breaking independence.
+                        for &nb in ns {
+                            if !seen[nb as usize] || rs.state[nb as usize] != S::A {
+                                continue;
+                            }
+                            if rs.isn2[nb as usize] == NONE {
+                                // Singleton gains a second IS neighbour.
+                                let w = rs.isn1[nb as usize];
+                                if w != NONE && rs.state[w as usize] == S::I {
+                                    rs.isn1[w as usize] = rs.isn1[w as usize].saturating_sub(1);
+                                }
+                                rs.isn2[nb as usize] = u;
+                            } else {
+                                // Already two IS neighbours: now three.
+                                rs.state[nb as usize] = S::N;
+                                rs.isn1[nb as usize] = NONE;
+                                rs.isn2[nb as usize] = NONE;
+                            }
+                        }
+                        return;
+                    }
+                    rs.nominated[u as usize] = false;
+                    // Re-derive A / N / 0↔1 (Algorithm 3 re-evaluates C,
+                    // A and N alike).
+                    let mut count = 0u32;
+                    let (mut w1, mut w2) = (NONE, NONE);
+                    let mut all_cn = true;
+                    for &nb in ns {
+                        match rs.state[nb as usize] {
+                            S::I => {
+                                count += 1;
+                                if w1 == NONE {
+                                    w1 = nb;
+                                } else if w2 == NONE {
+                                    w2 = nb;
+                                }
+                                all_cn = false;
+                            }
+                            S::C | S::N => {}
+                            _ => all_cn = false,
+                        }
+                    }
+                    match count {
+                        1 => {
+                            rs.state[u as usize] = S::A;
+                            rs.isn1[u as usize] = w1;
+                            rs.isn2[u as usize] = NONE;
+                            rs.isn1[w1 as usize] += 1;
+                        }
+                        2 => {
+                            rs.state[u as usize] = S::A;
+                            rs.isn1[u as usize] = w1;
+                            rs.isn2[u as usize] = w2;
+                        }
+                        _ => {
+                            rs.state[u as usize] = S::N;
+                            rs.isn1[u as usize] = NONE;
+                            rs.isn2[u as usize] = NONE;
+                            if count == 0 && all_cn {
+                                rs.state[u as usize] = S::I;
+                                rs.isn1[u as usize] = 0;
+                                round_ref.swapped_in += 1;
+                            }
+                        }
+                    }
+                })
+                .expect("scan failed");
+
+            // Shrink guard: a blocked nominee can make a round lose
+            // vertices; roll back and stop rather than return a smaller
+            // set.
+            let new_size = (current_size as i64 + round.net_gain()) as u64;
+            if new_size < current_size {
+                if let Some((s, i1, i2)) = snapshot {
+                    run.state = s;
+                    run.isn1 = i1;
+                    run.isn2 = i2;
+                }
+                break;
+            }
+            current_size = new_size;
+
+            if round.net_gain() <= 0 {
+                stagnant_rounds += 1;
+            } else {
+                stagnant_rounds = 0;
+            }
+            stats.rounds.push(round);
+            if stagnant_rounds >= 3 {
+                break;
+            }
+        }
+
+        if self.config.finalize_maximal {
+            file_scans += 1;
+            finalize_maximal(graph, &mut run.state);
+        }
+
+        let set: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| run.state[v as usize] == S::I)
+            .collect();
+        stats.final_size = set.len() as u64;
+        SwapOutcome {
+            result: MisResult {
+                set,
+                file_scans,
+                memory: MemoryModel {
+                    state_bytes: n as u64,
+                    isn_bytes: 8 * n as u64,
+                    sc_peak_bytes,
+                    aux_bytes: n as u64, // nomination flags
+                },
+            },
+            stats,
+        }
+    }
+}
+
+/// Marks `u` conflicted and maintains the singleton dependant count.
+fn to_conflicted(run: &mut Run, u: u32) {
+    if run.isn2[u as usize] == NONE {
+        let w = run.isn1[u as usize];
+        if w != NONE && run.state[w as usize] == S::I {
+            run.isn1[w as usize] = run.isn1[w as usize].saturating_sub(1);
+        }
+    }
+    run.state[u as usize] = S::C;
+}
+
+/// Derives the `A` state for a non-IS vertex from its current IS
+/// neighbours (shared by the init scan).
+fn assign_a_state(run: &mut Run, v: u32, ns: &[VertexId]) {
+    let mut count = 0u32;
+    let (mut w1, mut w2) = (NONE, NONE);
+    for &u in ns {
+        if run.state[u as usize] == S::I {
+            count += 1;
+            if w1 == NONE {
+                w1 = u;
+            } else if w2 == NONE {
+                w2 = u;
+            } else {
+                break;
+            }
+        }
+    }
+    match count {
+        1 => {
+            run.state[v as usize] = S::A;
+            run.isn1[v as usize] = w1;
+            run.isn1[w1 as usize] += 1;
+        }
+        2 => {
+            run.state[v as usize] = S::A;
+            run.isn1[v as usize] = w1;
+            run.isn2[v as usize] = w2;
+        }
+        _ => {}
+    }
+}
+
+/// Tries to complete a 2-3 swap skeleton with `u` as the third vertex.
+/// On success: `u → P`, the pair is nominated, `w1, w2 → R`.
+fn fire_if_pair_found(
+    run: &mut Run,
+    entry: &ScEntry,
+    u: u32,
+    nbr_set: &FxHashSet<u32>,
+    key: (u32, u32),
+) -> bool {
+    for &(a, b) in &entry.pairs {
+        if a == u || b == u {
+            continue;
+        }
+        if run.state[a as usize] == S::A
+            && run.state[b as usize] == S::A
+            && !nbr_set.contains(&a)
+            && !nbr_set.contains(&b)
+        {
+            run.state[u as usize] = S::P;
+            // Nominate the earlier-scanned pair: conflicted out of this
+            // round's candidacy, joining at post-swap if still safe.
+            for m in [a, b] {
+                to_conflicted(run, m);
+                run.nominated[m as usize] = true;
+            }
+            run.state[key.0 as usize] = S::R;
+            run.state[key.1 as usize] = S::R;
+            return true;
+        }
+    }
+    false
+}
+
+/// Pairs `u` with previously scanned fulls of `entry` (mutual
+/// non-adjacency verified against `u`'s in-memory neighbour set).
+fn add_pairs_with_fulls(
+    run: &mut Run,
+    entry: &mut ScEntry,
+    u: u32,
+    nbr_set: &FxHashSet<u32>,
+    sc_pairs: &mut u64,
+) {
+    for i in 0..entry.fulls.len() {
+        if entry.pairs.len() >= PAIR_CAP {
+            break;
+        }
+        let a = entry.fulls[i];
+        if a != u && run.state[a as usize] == S::A && !nbr_set.contains(&a) {
+            entry.pairs.push((a, u));
+            *sc_pairs += 1;
+            run.mark_sc(a);
+            run.mark_sc(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::Greedy;
+    use crate::onek::OneKSwap;
+    use crate::verify::{is_independent_set, is_maximal_independent_set};
+    use mis_gen::figures;
+    use mis_graph::{CsrGraph, OrderedCsr};
+
+    fn run_figure(ex: &figures::FigureExample) -> SwapOutcome {
+        let scan = match &ex.scan_order {
+            Some(order) => OrderedCsr::new(&ex.graph, order.clone()),
+            None => OrderedCsr::degree_sorted(&ex.graph),
+        };
+        TwoKSwap::new().run(&scan, &ex.initial_is)
+    }
+
+    #[test]
+    fn figure7_full_trace() {
+        // Example 3: the 2↔4 swap {v2,v3} → {v4,v5,v6,v8}, with v7
+        // conflicted by v5 and v6.
+        let ex = figures::figure7();
+        let out = run_figure(&ex);
+        assert_eq!(out.result.set, ex.expected_is);
+        // Round 1: v6 and v8 enter at swap, v4 and v5 at post-swap: 4 in,
+        // 2 out.
+        assert_eq!(out.stats.rounds[0].swapped_in, 4);
+        assert_eq!(out.stats.rounds[0].swapped_out, 2);
+        // SC held candidates during the round.
+        assert!(out.stats.sc_peak_vertices > 0);
+    }
+
+    #[test]
+    fn handles_one_k_cases_too() {
+        // Two-k subsumes one-k: Figures 1, 2, 4, 5 must come out at least
+        // as well as one-k-swap's result.
+        for ex in [
+            figures::figure1(),
+            figures::figure2(),
+            figures::figure4(),
+            figures::figure5(),
+        ] {
+            let out = run_figure(&ex);
+            assert!(is_independent_set(&ex.graph, &out.result.set));
+            assert!(
+                out.result.set.len() >= ex.expected_is.len(),
+                "two-k must match one-k's gains: got {:?}, one-k got {:?}",
+                out.result.set,
+                ex.expected_is
+            );
+        }
+    }
+
+    #[test]
+    fn never_smaller_than_one_k_on_random_graphs() {
+        for seed in 0..3 {
+            let g = mis_gen::plrg::Plrg::with_vertices(1_500, 2.1).seed(seed).generate();
+            let scan = OrderedCsr::degree_sorted(&g);
+            let greedy = Greedy::new().run(&scan);
+            let one = OneKSwap::new().run(&scan, &greedy.set);
+            let two = TwoKSwap::new().run(&scan, &greedy.set);
+            assert!(is_independent_set(&g, &two.result.set), "seed {seed}");
+            assert!(is_maximal_independent_set(&g, &two.result.set), "seed {seed}");
+            assert!(
+                two.result.set.len() + 1 >= one.result.set.len(),
+                "seed {seed}: two-k {} vs one-k {}",
+                two.result.set.len(),
+                one.result.set.len()
+            );
+            assert!(two.result.set.len() >= greedy.set.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_two_for_many() {
+        // K_{2,5}: starting from the small side {0,1}, two-k-swap must
+        // trade both for the five-vertex side in one round.
+        let g = mis_gen::special::complete_bipartite(2, 5);
+        let scan = OrderedCsr::degree_sorted(&g);
+        let out = TwoKSwap::new().run(&scan, &[0, 1]);
+        assert_eq!(out.result.set, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn one_k_cannot_crack_complete_bipartite() {
+        // The same K_{2,5} is out of reach for 1↔k swaps: every candidate
+        // has two IS neighbours. This is the separation the paper's
+        // Section 6 motivates.
+        let g = mis_gen::special::complete_bipartite(2, 5);
+        let scan = OrderedCsr::degree_sorted(&g);
+        let out = OneKSwap::with_config(SwapConfig {
+            finalize_maximal: false,
+            ..SwapConfig::default()
+        })
+        .run(&scan, &[0, 1]);
+        assert_eq!(out.result.set, vec![0, 1]);
+    }
+
+    #[test]
+    fn memory_model_reports_sc_peak() {
+        let ex = figures::figure7();
+        let out = run_figure(&ex);
+        assert!(out.result.memory.sc_peak_bytes > 0);
+        assert_eq!(out.result.memory.state_bytes, 8);
+        assert_eq!(out.result.memory.isn_bytes, 64);
+    }
+
+    #[test]
+    fn empty_graph_and_empty_set() {
+        let g = CsrGraph::empty(3);
+        let out = TwoKSwap::new().run(&g, &[]);
+        // finalize_maximal promotes all isolated vertices.
+        assert_eq!(out.result.set, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nomination_staleness_regression() {
+        // Found by fuzzing (ER n=10, m=20, seed 246): vertex 9 is
+        // re-evaluated in the post-swap scan *before* the nominated pair
+        // {3, 5} joins, derived a stale singleton ISN {6}, and in round 2
+        // fired a 1-2 swap that put it into the set next to 3 and 5. The
+        // nominee join must repair already-scanned neighbours' ISN state.
+        let edges = [
+            (0, 1), (0, 4), (0, 8), (1, 2), (1, 4), (2, 3), (2, 5), (2, 7), (3, 4), (3, 8),
+            (3, 9), (4, 5), (4, 6), (4, 7), (5, 8), (5, 9), (6, 7), (6, 8), (6, 9), (7, 8),
+        ];
+        let g = CsrGraph::from_edges(10, &edges);
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let greedy = Greedy::new().run(&sorted);
+        assert_eq!(greedy.set, vec![0, 2, 9]);
+        let out = TwoKSwap::new().run(&sorted, &greedy.set);
+        assert!(
+            is_independent_set(&g, &out.result.set),
+            "regression: {:?} must be independent",
+            out.result.set
+        );
+        assert!(is_maximal_independent_set(&g, &out.result.set));
+        assert!(out.result.set.len() >= greedy.set.len());
+    }
+
+    #[test]
+    fn sc_peak_metric_counts_distinct_vertices() {
+        // On Figure 7's graph exactly the key (v2, v3) forms with fulls
+        // v4 (and the pair (v4, v5)) before firing: the SC metric must see
+        // at least those two distinct vertices and at most all A vertices.
+        let ex = figures::figure7();
+        let out = run_figure(&ex);
+        assert!(out.stats.sc_peak_vertices >= 2);
+        assert!(out.stats.sc_peak_vertices <= 5);
+    }
+}

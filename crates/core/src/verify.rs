@@ -1,0 +1,97 @@
+//! Independence and maximality checks.
+//!
+//! Both checks are themselves semi-external: one bit per vertex in memory,
+//! one sequential scan of the graph.
+
+use mis_graph::{GraphScan, VertexId};
+
+/// Builds a membership bitmap from a vertex list.
+fn membership(n: usize, set: &[VertexId]) -> Vec<bool> {
+    let mut member = vec![false; n];
+    for &v in set {
+        member[v as usize] = true;
+    }
+    member
+}
+
+/// Whether `set` is an independent set of `graph` (no two members
+/// adjacent). Duplicates in `set` are tolerated.
+pub fn is_independent_set<G: GraphScan + ?Sized>(graph: &G, set: &[VertexId]) -> bool {
+    let member = membership(graph.num_vertices(), set);
+    let mut ok = true;
+    graph
+        .scan(&mut |v, ns| {
+            if ok && member[v as usize] && ns.iter().any(|&u| member[u as usize]) {
+                ok = false;
+            }
+        })
+        .expect("scan failed");
+    ok
+}
+
+/// Whether `set` is a *maximal* independent set: independent, and every
+/// non-member has at least one member neighbour.
+pub fn is_maximal_independent_set<G: GraphScan + ?Sized>(graph: &G, set: &[VertexId]) -> bool {
+    let member = membership(graph.num_vertices(), set);
+    let mut independent = true;
+    let mut maximal = true;
+    graph
+        .scan(&mut |v, ns| {
+            let v_in = member[v as usize];
+            let touches = ns.iter().any(|&u| member[u as usize]);
+            if v_in && touches {
+                independent = false;
+            }
+            if !v_in && !touches {
+                maximal = false;
+            }
+        })
+        .expect("scan failed");
+    independent && maximal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::CsrGraph;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn independence_detects_edges() {
+        let g = path4();
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(is_independent_set(&g, &[0, 3]));
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(is_independent_set(&g, &[]));
+    }
+
+    #[test]
+    fn maximality_requires_domination() {
+        let g = path4();
+        assert!(is_maximal_independent_set(&g, &[0, 2]));
+        assert!(is_maximal_independent_set(&g, &[1, 3]));
+        // {0, 3} is independent but vertex 1..2 — wait, 1 touches 0, 2
+        // touches 3: it IS maximal.
+        assert!(is_maximal_independent_set(&g, &[0, 3]));
+        // {1} leaves vertex 3 untouched.
+        assert!(!is_maximal_independent_set(&g, &[1]));
+        // Non-independent sets are never maximal independent sets.
+        assert!(!is_maximal_independent_set(&g, &[0, 1, 3]));
+    }
+
+    #[test]
+    fn isolated_vertices_must_be_included() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert!(!is_maximal_independent_set(&g, &[0]));
+        assert!(is_maximal_independent_set(&g, &[0, 2]));
+    }
+
+    #[test]
+    fn empty_graph_empty_set_is_maximal() {
+        let g = CsrGraph::empty(0);
+        assert!(is_maximal_independent_set(&g, &[]));
+    }
+}

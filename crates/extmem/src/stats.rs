@@ -1,0 +1,168 @@
+//! Shared I/O accounting in the external-memory cost model.
+//!
+//! The paper reports algorithm cost as a number of sequential scans and the
+//! derived block-transfer count `scan(|V|+|E|) = (|V|+|E|)/B`. Operating
+//! systems hide actual disk traffic behind page caches, so instead of trying
+//! to observe the hardware we count transfers at the point where the
+//! algorithms issue them: every [`crate::BlockReader`] refill and every
+//! [`crate::BlockWriter`] flush bumps these counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic I/O counters shared by all streams of one experiment.
+///
+/// Cloning the surrounding [`Arc`] is the intended sharing mechanism; see
+/// [`IoStats::shared`].
+#[derive(Debug, Default)]
+pub struct IoStats {
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    scans_started: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a fresh, zeroed counter set behind an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records `bytes` read as part of one block transfer.
+    pub fn record_block_read(&self, bytes: u64) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` written as part of one block transfer.
+    pub fn record_block_write(&self, bytes: u64) {
+        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks the start of one sequential scan of a file.
+    ///
+    /// The swap algorithms call this once per pass so that experiments can
+    /// report "number of iterations of scan" exactly as the paper's
+    /// Section 7.4 does.
+    pub fn record_scan(&self) {
+        self.scans_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            scans_started: self.scans_started.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.scans_started.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Number of block-granularity reads issued.
+    pub blocks_read: u64,
+    /// Number of block-granularity writes issued.
+    pub blocks_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of sequential scans started (see [`IoStats::record_scan`]).
+    pub scans_started: u64,
+}
+
+impl IoSnapshot {
+    /// Total block transfers in either direction.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_read + self.blocks_written
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            scans_started: self.scans_started.saturating_sub(earlier.scans_started),
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} blocks read ({} B), {} blocks written ({} B), {} scans",
+            self.blocks_read, self.bytes_read, self.blocks_written, self.bytes_written, self.scans_started
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = IoStats::shared();
+        stats.record_block_read(512);
+        stats.record_block_read(512);
+        stats.record_block_write(100);
+        stats.record_scan();
+        let snap = stats.snapshot();
+        assert_eq!(snap.blocks_read, 2);
+        assert_eq!(snap.bytes_read, 1024);
+        assert_eq!(snap.blocks_written, 1);
+        assert_eq!(snap.bytes_written, 100);
+        assert_eq!(snap.scans_started, 1);
+        assert_eq!(snap.total_blocks(), 3);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let stats = IoStats::shared();
+        stats.record_block_read(10);
+        let first = stats.snapshot();
+        stats.record_block_read(10);
+        stats.record_block_write(4);
+        let second = stats.snapshot();
+        let delta = second.since(&first);
+        assert_eq!(delta.blocks_read, 1);
+        assert_eq!(delta.blocks_written, 1);
+        assert_eq!(delta.bytes_written, 4);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let stats = IoStats::shared();
+        stats.record_block_read(10);
+        stats.record_scan();
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let stats = IoStats::shared();
+        stats.record_block_read(8);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("1 blocks read"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Erdős–Rényi `G(n, m)` graphs.
+//!
+//! Not part of the paper's evaluation, but useful as a non-power-law
+//! stress test: on `G(n, m)` the greedy/swap machinery sees a flat degree
+//! distribution, the opposite regime from `P(α,β)`.
+
+use mis_graph::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random simple graph with `n` vertices and (up to)
+/// `m` edges. Duplicate samples are discarded, so very dense requests may
+/// return slightly fewer edges; for `m` well below `n(n−1)/2` the count is
+/// met exactly.
+pub fn gnm(n: usize, m: u64, seed: u64) -> CsrGraph {
+    assert!(n >= 1 || m == 0, "edges require vertices");
+    let max_edges = if n < 2 { 0 } else { n as u64 * (n as u64 - 1) / 2 };
+    let m = m.min(max_edges);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m as usize * 2);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m as usize);
+    let mut attempts: u64 = 0;
+    let attempt_budget = m.saturating_mul(50).max(1000);
+    while (edges.len() as u64) < m && attempts < attempt_budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_when_sparse() {
+        let g = gnm(1000, 3000, 42);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 3000);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(100, 200, 7), gnm(100, 200, 7));
+        assert_ne!(gnm(100, 200, 7), gnm(100, 200, 8));
+    }
+
+    #[test]
+    fn dense_request_is_capped() {
+        let g = gnm(5, 100, 1);
+        assert!(g.num_edges() <= 10);
+        assert!(g.num_edges() >= 8, "should get close to complete");
+    }
+
+    #[test]
+    fn no_vertices_no_edges() {
+        let g = gnm(0, 0, 1);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Graph generators and workloads for the MIS experiments.
+//!
+//! The paper evaluates on (a) ten real-world graphs and (b) synthetic
+//! `P(α,β)` power-law random graphs. The real graphs total ~180 GB and are
+//! not redistributable, so this crate provides:
+//!
+//! * [`plrg`] — the exact `P(α,β)` model of the paper's Section 2.2
+//!   (degree sequence `n_x = ⌊e^α/x^β⌋`, random matching over vertex
+//!   copies), used by the β-sweep experiments (Tables 2 and 9, Figures 6,
+//!   8 and 10);
+//! * [`matching`] — the underlying configuration-model matcher, reusable
+//!   with any degree sequence;
+//! * [`er`] — Erdős–Rényi `G(n, m)` graphs for non-power-law stress tests;
+//! * [`special`] — structured graphs: the cascade-swap worst case of
+//!   Figure 5, stars, paths, cycles, complete (bipartite) graphs;
+//! * [`figures`] — the exact worked examples of the paper's Figures 1, 2,
+//!   4, 5 and 7, used as regression tests for the swap state machines;
+//! * [`datasets`] — synthetic analogues of Table 4's datasets, fitted to
+//!   the same average degree (and scaled vertex counts) inside the
+//!   `P(α,β)` family.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ba;
+pub mod datasets;
+pub mod er;
+pub mod figures;
+pub mod matching;
+pub mod plrg;
+pub mod rmat;
+pub mod special;
+
+pub use datasets::{Dataset, DATASETS};
+pub use plrg::Plrg;

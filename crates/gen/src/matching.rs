@@ -1,0 +1,137 @@
+//! The random-matching (configuration model) construction.
+//!
+//! Section 2.2 of the paper realises a degree sequence as a graph in three
+//! steps: (1) form a multiset `L` with `deg(v)` copies of every vertex
+//! `v`; (2) choose a uniformly random perfect matching of `L`; (3) connect
+//! `u—v` once per matched copy pair. Matched pairs can produce self-loops
+//! and parallel edges; as is conventional for the Aiello–Chung–Lu model
+//! (and required by the paper's *simple graph* setting) those are
+//! discarded, and the discard counts are reported.
+
+use mis_graph::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What the matching discarded while simplifying the multigraph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchingReport {
+    /// Matched pairs joining a vertex to itself.
+    pub self_loops: u64,
+    /// Matched pairs duplicating an existing edge.
+    pub parallel_edges: u64,
+    /// Edges kept in the final simple graph.
+    pub kept_edges: u64,
+}
+
+impl MatchingReport {
+    /// Fraction of matched pairs that had to be discarded.
+    pub fn discard_rate(&self) -> f64 {
+        let total = self.self_loops + self.parallel_edges + self.kept_edges;
+        if total == 0 {
+            0.0
+        } else {
+            (self.self_loops + self.parallel_edges) as f64 / total as f64
+        }
+    }
+}
+
+/// Builds a simple graph realising `degrees` as closely as the random
+/// matching allows.
+///
+/// If the degree sum is odd, one copy of the last maximum-degree vertex is
+/// dropped (one vertex ends up one short), matching common practice.
+pub fn random_matching_graph<R: Rng>(degrees: &[u32], rng: &mut R) -> (CsrGraph, MatchingReport) {
+    let n = degrees.len();
+    let total: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+    let mut copies: Vec<VertexId> = Vec::with_capacity(total as usize);
+    for (v, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            copies.push(v as VertexId);
+        }
+    }
+    if copies.len() % 2 == 1 {
+        copies.pop();
+    }
+    copies.shuffle(rng);
+
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(copies.len() / 2);
+    let mut report = MatchingReport::default();
+    for pair in copies.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u == v {
+            report.self_loops += 1;
+        } else {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    edges.sort_unstable();
+    let before = edges.len() as u64;
+    edges.dedup();
+    report.parallel_edges = before - edges.len() as u64;
+    report.kept_edges = edges.len() as u64;
+
+    (CsrGraph::from_edges(n, &edges), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_degrees_give_empty_graph() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (g, rep) = random_matching_graph(&[0, 0, 0], &mut rng);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(rep.kept_edges, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let degrees = vec![3u32; 100];
+        let a = random_matching_graph(&degrees, &mut SmallRng::seed_from_u64(7)).0;
+        let b = random_matching_graph(&degrees, &mut SmallRng::seed_from_u64(7)).0;
+        let c = random_matching_graph(&degrees, &mut SmallRng::seed_from_u64(8)).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degrees_approximately_realised() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let degrees: Vec<u32> = (0..2000).map(|i| 1 + (i % 5) as u32).collect();
+        let (g, rep) = random_matching_graph(&degrees, &mut rng);
+        // Simplification discards only a small fraction on sparse inputs.
+        assert!(rep.discard_rate() < 0.05, "discard rate {}", rep.discard_rate());
+        // Realised degree never exceeds requested degree.
+        for (v, &want) in degrees.iter().enumerate() {
+            assert!(g.degree(v as u32) <= want);
+        }
+        // Total realised degree is close to requested.
+        let want: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+        let got = 2 * g.num_edges();
+        assert!(got as f64 > 0.9 * want as f64, "{got} of {want}");
+    }
+
+    #[test]
+    fn odd_degree_sum_is_tolerated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (g, _) = random_matching_graph(&[1, 1, 1], &mut rng);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn graph_is_simple() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let degrees = vec![10u32; 50]; // dense: forces loops/duplicates
+        let (g, rep) = random_matching_graph(&degrees, &mut rng);
+        assert!(rep.self_loops + rep.parallel_edges > 0, "dense matching should discard");
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+            assert!(!ns.contains(&v), "no self loop");
+        }
+    }
+}

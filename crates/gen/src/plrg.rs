@@ -1,0 +1,139 @@
+//! The `P(α,β)` power-law random graph generator (paper Section 2.2).
+//!
+//! The degree sequence is fully determined by `(α, β)`: there are
+//! `n_x = ⌊e^α / x^β⌋` vertices of degree `x` for `x = 1..⌊e^{α/β}⌋`.
+//! The sequence is realised through the random matching of
+//! [`crate::matching`]. Vertices are assigned ids in *descending* degree
+//! order (id 0 is the highest-degree vertex) — any fixed convention works;
+//! the MIS algorithms re-order by degree themselves.
+
+use mis_graph::CsrGraph;
+use mis_theory::PlrgParams;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::matching::{random_matching_graph, MatchingReport};
+
+/// Builder for `P(α,β)` graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct Plrg {
+    params: PlrgParams,
+    seed: u64,
+}
+
+impl Plrg {
+    /// A generator with explicit `(α, β)`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        Self {
+            params: PlrgParams::new(alpha, beta),
+            seed: 0,
+        }
+    }
+
+    /// A generator fitted so the expected vertex count is `n`.
+    pub fn with_vertices(n: u64, beta: f64) -> Self {
+        Self {
+            params: PlrgParams::fit_alpha(n as f64, beta),
+            seed: 0,
+        }
+    }
+
+    /// A generator fitted to a vertex count and average degree (used for
+    /// the dataset analogues).
+    pub fn with_vertices_and_avg_degree(n: u64, avg_degree: f64) -> Self {
+        Self {
+            params: PlrgParams::fit_vertices_and_avg_degree(n as f64, avg_degree),
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The fitted `(α, β)` parameters.
+    pub fn params(&self) -> PlrgParams {
+        self.params
+    }
+
+    /// The deterministic degree sequence `n_x = ⌊e^α / x^β⌋`, expanded to
+    /// one entry per vertex, descending.
+    pub fn degree_sequence(&self) -> Vec<u32> {
+        let delta = self.params.max_degree();
+        let mut degrees = Vec::new();
+        for x in (1..=delta).rev() {
+            let n_x = self.params.count_with_degree(x).floor() as u64;
+            for _ in 0..n_x {
+                degrees.push(x as u32);
+            }
+        }
+        degrees
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> CsrGraph {
+        self.generate_with_report().0
+    }
+
+    /// Generates the graph and reports what the simplification discarded.
+    pub fn generate_with_report(&self) -> (CsrGraph, MatchingReport) {
+        let degrees = self.degree_sequence();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        random_matching_graph(&degrees, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_matches_fit() {
+        let g = Plrg::with_vertices(20_000, 2.0).seed(1).generate();
+        let n = g.num_vertices() as f64;
+        assert!((n - 20_000.0).abs() / 20_000.0 < 0.02, "|V| = {n}");
+    }
+
+    #[test]
+    fn degree_distribution_is_power_law_shaped() {
+        let gen = Plrg::with_vertices(50_000, 2.0).seed(3);
+        let seq = gen.degree_sequence();
+        let count = |d: u32| seq.iter().filter(|&&x| x == d).count() as f64;
+        // n_1 / n_2 ≈ 2^β = 4.
+        let ratio = count(1) / count(2);
+        assert!((ratio - 4.0).abs() < 0.3, "n1/n2 = {ratio}");
+        // Descending order.
+        assert!(seq.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn avg_degree_fit_is_respected() {
+        let gen = Plrg::with_vertices_and_avg_degree(20_000, 8.0).seed(5);
+        let g = gen.generate();
+        let avg = g.avg_degree();
+        // Simplification loses a few percent of edges on heavy tails.
+        assert!((avg - 8.0).abs() < 1.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Plrg::with_vertices(5_000, 2.2).seed(9).generate();
+        let b = Plrg::with_vertices(5_000, 2.2).seed(9).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn discard_rate_is_small_for_sparse_graphs() {
+        let (_, rep) = Plrg::with_vertices(30_000, 2.2).seed(2).generate_with_report();
+        assert!(rep.discard_rate() < 0.06, "discard {}", rep.discard_rate());
+    }
+
+    #[test]
+    fn max_degree_bounded_by_model() {
+        let gen = Plrg::with_vertices(20_000, 1.8).seed(4);
+        let g = gen.generate();
+        assert!(u64::from(g.max_degree()) <= gen.params().max_degree());
+    }
+}

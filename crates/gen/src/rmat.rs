@@ -1,0 +1,114 @@
+//! R-MAT recursive matrix graphs (Chakrabarti–Zhan–Faloutsos).
+//!
+//! The standard synthetic stand-in for web/social graphs in systems
+//! papers (Graph500 uses it): each edge picks a quadrant of the adjacency
+//! matrix recursively with probabilities `(a, b, c, d)`. With the classic
+//! skewed parameters it produces heavy-tailed degree distributions and
+//! community-like structure, rounding out the generator suite next to
+//! `P(α,β)` and BA.
+
+use mis_graph::{CsrGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters `(0.57, 0.19, 0.19)`.
+    pub fn graph500() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and (up to)
+/// `edge_factor · 2^scale` distinct undirected edges (self-loops and
+/// duplicates are dropped, as in the Graph500 kernel).
+pub fn rmat(scale: u32, edge_factor: u64, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!((1..=30).contains(&scale), "scale out of range");
+    assert!(params.d() >= 0.0, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let target = edge_factor * n as u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(target as usize);
+    for _ in 0..target {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < params.a + params.b {
+                v |= 1;
+            } else if r < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let g = rmat(10, 8, RmatParams::graph500(), 3);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4_000, "edges {}", g.num_edges());
+        assert_eq!(g, rmat(10, 8, RmatParams::graph500(), 3));
+        assert_ne!(g, rmat(10, 8, RmatParams::graph500(), 4));
+    }
+
+    #[test]
+    fn skewed_parameters_give_heavy_tail() {
+        let skewed = rmat(12, 8, RmatParams::graph500(), 1);
+        // Uniform quadrants ≈ Erdős–Rényi: much flatter.
+        let flat = rmat(
+            12,
+            8,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+            },
+            1,
+        );
+        assert!(
+            skewed.max_degree() > 2 * flat.max_degree(),
+            "skewed {} vs flat {}",
+            skewed.max_degree(),
+            flat.max_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn invalid_probabilities_panic() {
+        let _ = rmat(4, 2, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 0);
+    }
+}

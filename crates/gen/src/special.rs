@@ -1,0 +1,146 @@
+//! Structured graphs with known independence numbers.
+//!
+//! These give exact ground truth for tests (`α(K_n) = 1`,
+//! `α(P_n) = ⌈n/2⌉`, …) and include the paper's *cascade-swap* worst case
+//! (Figure 5), where one-k-swap needs `n/3` rounds because each round
+//! unlocks only the next block's swap.
+
+use mis_graph::{CsrGraph, VertexId};
+
+/// Star `K_{1,k}`: vertex 0 is the hub. Independence number `max(k, 1)`.
+pub fn star(k: usize) -> CsrGraph {
+    let edges: Vec<(VertexId, VertexId)> = (1..=k as VertexId).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(k + 1, &edges)
+}
+
+/// Path `P_n` on vertices `0 — 1 — … — n−1`. Independence number `⌈n/2⌉`.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Cycle `C_n`. Independence number `⌊n/2⌋` for `n ≥ 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    edges.push((n as VertexId - 1, 0));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete graph `K_n`. Independence number 1 (for `n ≥ 1`).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete bipartite `K_{a,b}`: sides `0..a` and `a..a+b`.
+/// Independence number `max(a, b)`.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as VertexId {
+        for v in 0..b as VertexId {
+            edges.push((u, a as VertexId + v));
+        }
+    }
+    CsrGraph::from_edges(a + b, &edges)
+}
+
+/// The cascade-swap graph of Figure 5, generalised to `k` blocks
+/// (`3k` vertices).
+///
+/// Block `i` has a head `h_i = 3i` and two tails `3i+1`, `3i+2`; the head
+/// is adjacent to its tails, and each tail of block `i` is adjacent to the
+/// head of block `i+1`. Starting from the independent set `{h_0, …,
+/// h_{k−1}}` (returned by [`cascade_initial_is`]), only the *last* block
+/// can swap in round one; every round unlocks exactly one more block, so
+/// one-k-swap needs exactly `k` rounds — the paper's worst case for the
+/// round count.
+pub fn cascade_swap(k: usize) -> CsrGraph {
+    assert!(k >= 1, "need at least one block");
+    let mut edges = Vec::with_capacity(4 * k);
+    for i in 0..k as VertexId {
+        let head = 3 * i;
+        edges.push((head, head + 1));
+        edges.push((head, head + 2));
+        if i + 1 < k as VertexId {
+            edges.push((head + 1, 3 * (i + 1)));
+            edges.push((head + 2, 3 * (i + 1)));
+        }
+    }
+    CsrGraph::from_edges(3 * k, &edges)
+}
+
+/// The adversarial initial independent set for [`cascade_swap`]: all block
+/// heads.
+pub fn cascade_initial_is(k: usize) -> Vec<VertexId> {
+    (0..k as VertexId).map(|i| 3 * i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let g = star(4);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(cycle(5).degree(0), 2);
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(2), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn cascade_structure() {
+        let g = cascade_swap(3); // Figure 5: 9 vertices
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 10);
+        // Heads of interior blocks have degree 4 (2 tails + 2 previous tails).
+        assert_eq!(g.degree(3), 4);
+        assert_eq!(g.degree(0), 2);
+        // Last block's tails touch only their head.
+        assert_eq!(g.degree(7), 1);
+        assert_eq!(g.degree(8), 1);
+        // Initial IS is independent.
+        let is = cascade_initial_is(3);
+        for &u in &is {
+            for &v in &is {
+                assert!(u == v || !g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_single_block() {
+        let g = cascade_swap(1);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Gap-compressed adjacency files (WebGraph-style).
+//!
+//! The paper reads its biggest inputs in compressed form \[6\]; this module
+//! provides the same capability for our pipeline. Layout:
+//!
+//! ```text
+//! magic   "MISADJC1"          8 bytes
+//! |V|     u64
+//! |E|     u64
+//! record* |V| times:
+//!     vertex   varint
+//!     degree   varint
+//!     nbrs     ascending gap-coded varints (see mis_extmem::varint)
+//! ```
+//!
+//! Neighbour lists are stored sorted by **id** (gap coding needs
+//! monotonicity), which differs from the uncompressed [`crate::AdjFile`]
+//! convention of neighbour-degree order. The scan-order of *records* is
+//! preserved, which is what the algorithms' correctness and conflict
+//! resolution depend on; neighbour order within a record only affects the
+//! greedy tie-breaking inside Algorithm 5's star choice, not any
+//! invariant. On the paper's power-law analogues the compressed file is
+//! ~2–3× smaller, so every scan moves proportionally fewer blocks.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mis_extmem::varint::{read_ascending_gaps, read_varint, write_ascending_gaps, write_varint};
+use mis_extmem::{BlockReader, BlockWriter, IoStats, DEFAULT_BLOCK_SIZE};
+
+use crate::scan::GraphScan;
+use crate::VertexId;
+
+const MAGIC: &[u8; 8] = b"MISADJC1";
+
+/// Streaming writer for compressed adjacency files.
+#[derive(Debug)]
+pub struct CompressedAdjWriter {
+    writer: BlockWriter<File>,
+    expected: u64,
+    written: u64,
+    scratch: Vec<VertexId>,
+}
+
+impl CompressedAdjWriter {
+    /// Creates `path` with the header for `num_vertices` / `num_edges`.
+    pub fn create(
+        path: &Path,
+        num_vertices: u64,
+        num_edges: u64,
+        stats: Arc<IoStats>,
+        block_size: usize,
+    ) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut writer = BlockWriter::with_block_size(file, stats, block_size);
+        writer.write_all(MAGIC)?;
+        write_varint(&mut writer, num_vertices)?;
+        write_varint(&mut writer, num_edges)?;
+        Ok(Self {
+            writer,
+            expected: num_vertices,
+            written: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Appends one record; `neighbors` in any order (sorted internally).
+    pub fn write_record(&mut self, vertex: VertexId, neighbors: &[VertexId]) -> io::Result<()> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(neighbors);
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        write_varint(&mut self.writer, u64::from(vertex))?;
+        write_varint(&mut self.writer, self.scratch.len() as u64)?;
+        write_ascending_gaps(&mut self.writer, &self.scratch)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and validates the record count.
+    pub fn finish(self) -> io::Result<()> {
+        if self.written != self.expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("compressed file incomplete: {} of {} records", self.written, self.expected),
+            ));
+        }
+        self.writer.finish()?;
+        Ok(())
+    }
+}
+
+/// A readable compressed adjacency file; every scan re-reads through a
+/// fresh block reader and bumps the scan counter.
+#[derive(Debug, Clone)]
+pub struct CompressedAdjFile {
+    path: PathBuf,
+    num_vertices: u64,
+    num_edges: u64,
+    block_size: usize,
+    stats: Arc<IoStats>,
+}
+
+impl CompressedAdjFile {
+    /// Opens and validates `path`.
+    pub fn open(path: &Path, stats: Arc<IoStats>) -> io::Result<Self> {
+        Self::open_with_block_size(path, stats, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Opens with an explicit scan block size.
+    pub fn open_with_block_size(path: &Path, stats: Arc<IoStats>, block_size: usize) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let mut reader = BlockReader::with_block_size(file, Arc::clone(&stats), block_size);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a compressed adjacency file",
+            ));
+        }
+        let num_vertices = read_varint(&mut reader)?;
+        let num_edges = read_varint(&mut reader)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            num_vertices,
+            num_edges,
+            block_size,
+            stats,
+        })
+    }
+
+    /// File size on disk in bytes.
+    pub fn disk_bytes(&self) -> io::Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl GraphScan for CompressedAdjFile {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices as usize
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
+        self.stats.record_scan();
+        let file = File::open(&self.path)?;
+        let mut reader = BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        let _ = read_varint(&mut reader)?;
+        let _ = read_varint(&mut reader)?;
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for _ in 0..self.num_vertices {
+            let vertex = read_varint(&mut reader)? as VertexId;
+            let degree = read_varint(&mut reader)? as usize;
+            neighbors.clear();
+            read_ascending_gaps(&mut reader, &mut neighbors, degree)?;
+            f(vertex, &neighbors);
+        }
+        Ok(())
+    }
+
+    fn storage(&self) -> &'static str {
+        "adj-file-compressed"
+    }
+}
+
+/// Writes `graph` (any scannable source) as a compressed adjacency file,
+/// preserving the source's record order.
+pub fn compress_adj<G: GraphScan + ?Sized>(
+    graph: &G,
+    path: &Path,
+    stats: Arc<IoStats>,
+    block_size: usize,
+) -> io::Result<CompressedAdjFile> {
+    let mut writer = CompressedAdjWriter::create(
+        path,
+        graph.num_vertices() as u64,
+        graph.num_edges(),
+        Arc::clone(&stats),
+        block_size,
+    )?;
+    let mut error: Option<io::Error> = None;
+    graph.scan(&mut |v, ns| {
+        if error.is_none() {
+            if let Err(e) = writer.write_record(v, ns) {
+                error = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = error {
+        return Err(e);
+    }
+    writer.finish()?;
+    CompressedAdjFile::open_with_block_size(path, stats, block_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use mis_extmem::ScratchDir;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 5)])
+    }
+
+    #[test]
+    fn round_trips_the_graph() {
+        let g = sample();
+        let dir = ScratchDir::new("cadj").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), stats, 256).unwrap();
+        assert_eq!(file.num_vertices(), 6);
+        assert_eq!(file.num_edges(), 6);
+        let mut records = Vec::new();
+        file.scan(&mut |v, ns| records.push((v, ns.to_vec()))).unwrap();
+        assert_eq!(records.len(), 6);
+        // Neighbour lists id-sorted.
+        assert_eq!(records[0], (0, vec![1, 2, 5]));
+        assert_eq!(records[5], (5, vec![0]));
+    }
+
+    #[test]
+    fn compresses_power_law_graphs() {
+        let g = mis_gen_free_plrg(4000);
+        let dir = ScratchDir::new("cadj-size").unwrap();
+        let stats = IoStats::shared();
+        let raw = crate::builder::build_adj_file(&g, &dir.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
+        let compressed = compress_adj(&g, &dir.file("g.cadj"), stats, 4096).unwrap();
+        let raw_bytes = raw.disk_bytes().unwrap();
+        let comp_bytes = compressed.disk_bytes().unwrap();
+        assert!(
+            comp_bytes * 2 < raw_bytes,
+            "expected ≥2x compression, got {raw_bytes} -> {comp_bytes}"
+        );
+    }
+
+    /// Deterministic power-law-ish graph without depending on mis-gen
+    /// (which would create a dependency cycle).
+    fn mis_gen_free_plrg(n: u32) -> CsrGraph {
+        let mut edges = Vec::new();
+        let mut s = 7u64;
+        for v in 1..n {
+            // Preferential-attachment flavoured: connect to a random
+            // earlier vertex biased toward small ids.
+            for _ in 0..2 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let t = ((s >> 33) % u64::from(v)) as u32;
+                let t = t / 2; // bias to low ids = heavy tail
+                edges.push((t, v));
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn algorithms_agree_with_uncompressed() {
+        let g = mis_gen_free_plrg(2000);
+        let dir = ScratchDir::new("cadj-agree").unwrap();
+        let stats = IoStats::shared();
+        let compressed = compress_adj(&g, &dir.file("g.cadj"), Arc::clone(&stats), 1024).unwrap();
+        // Baseline greedy depends only on record order (same) and the set
+        // of neighbours (same), so the outcomes must be identical.
+        let mut in_mem = Vec::new();
+        let mut on_disk = Vec::new();
+        // Emulate greedy over both scans.
+        for (scan, out) in [
+            (&g as &dyn GraphScan, &mut in_mem),
+            (&compressed as &dyn GraphScan, &mut on_disk),
+        ] {
+            let mut state = vec![0u8; scan.num_vertices()];
+            scan.scan(&mut |v, ns| {
+                if state[v as usize] == 0 {
+                    state[v as usize] = 1;
+                    for &u in ns {
+                        if state[u as usize] == 0 {
+                            state[u as usize] = 2;
+                        }
+                    }
+                }
+            })
+            .unwrap();
+            out.extend((0..scan.num_vertices()).filter(|&v| state[v] == 1));
+        }
+        assert_eq!(in_mem, on_disk);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let dir = ScratchDir::new("cadj-bad").unwrap();
+        let path = dir.file("bad.cadj");
+        std::fs::write(&path, b"MISADJ01________").unwrap();
+        assert!(CompressedAdjFile::open(&path, IoStats::shared()).is_err());
+    }
+
+    #[test]
+    fn incomplete_writer_errors() {
+        let dir = ScratchDir::new("cadj-inc").unwrap();
+        let w = CompressedAdjWriter::create(&dir.file("i.cadj"), 3, 0, IoStats::shared(), 256).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn scan_counts_io() {
+        let g = sample();
+        let dir = ScratchDir::new("cadj-io").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), Arc::clone(&stats), 256).unwrap();
+        let before = stats.snapshot();
+        file.scan(&mut |_, _| {}).unwrap();
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.scans_started, 1);
+        assert!(delta.blocks_read >= 1);
+    }
+}

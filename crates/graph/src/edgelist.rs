@@ -1,0 +1,106 @@
+//! Text edge-list I/O.
+//!
+//! The paper's datasets ship as WebGraph/SNAP-style edge lists: one
+//! `u v` pair per line, with `#` or `%` comment lines. These helpers parse
+//! and emit that format so users can feed their own graphs to the library
+//! (`examples/from_edge_list.rs` shows the full pipeline).
+
+use std::io::{self, BufRead, Write};
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Parses a SNAP-style edge list.
+///
+/// Empty lines and lines starting with `#` or `%` are skipped. Each data
+/// line must hold two whitespace-separated non-negative integers.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<Vec<(VertexId, VertexId)>> {
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+            tok.and_then(|t| t.parse::<VertexId>().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge list at line {}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Parses an edge list and builds a CSR graph.
+///
+/// The vertex count is inferred as `max id + 1`.
+pub fn read_csr<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
+    let edges = parse_edge_list(reader)?;
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Writes `graph` as an edge list, one undirected edge per line.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# semi-mis edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# comment\n% another\n\n0 1\n 1 2 \n2 0\n";
+        let edges = parse_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot numbers\n";
+        let err = parse_edge_list(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn missing_endpoint_is_error() {
+        assert!(parse_edge_list(Cursor::new("42\n")).is_err());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_csr(Cursor::new(buf)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_csr(Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! A minimal Fx-style hasher for integer keys.
+//!
+//! The swap algorithms keep small hot hash maps keyed by `u32` vertex ids
+//! and `(u32, u32)` IS-vertex pairs. The standard library's SipHash is
+//! collision-resistant but slow for such keys; the Firefox/rustc "Fx" mix
+//! (multiply by a large odd constant, rotate, xor) is the usual drop-in.
+//! We implement it locally instead of adding a dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (from rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.get(&1000), None);
+    }
+
+    #[test]
+    fn set_basics() {
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        s.insert((2, 1));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(3, 1)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_usually_hash_distinct() {
+        use std::hash::BuildHasher;
+        let build = BuildHasherDefault::<FxHasher>::default();
+        let hash = |v: u32| build.hash_one(v);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            seen.insert(hash(i));
+        }
+        // No collisions expected over a tiny dense range.
+        assert_eq!(seen.len(), 10_000);
+    }
+}

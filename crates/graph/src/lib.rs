@@ -1,0 +1,51 @@
+//! Graph storage for the semi-external MIS algorithms.
+//!
+//! The paper's Section 2 fixes the graph representation: a simple undirected
+//! graph stored as **adjacency lists on disk**, where the list of each
+//! vertex is sorted by ascending *neighbour degree* and — after the
+//! preprocessing phase of Algorithm 1 — the records themselves appear in
+//! ascending order of vertex degree. The semi-external model allows `O(|V|)`
+//! words of main memory (state arrays, degree arrays, ISN sets) but the
+//! edge lists may only be **scanned**.
+//!
+//! This crate provides both sides of that model:
+//!
+//! * [`CsrGraph`] — an in-memory compressed-sparse-row graph used by the
+//!   in-memory baseline (`DynamicUpdate`), by tests, and as the source from
+//!   which adjacency files are built;
+//! * [`AdjFile`] / [`adjfile::AdjFileWriter`] — the on-disk adjacency-list
+//!   format, scanned through the block-accounted readers of [`mis_extmem`];
+//! * [`GraphScan`] — the streaming interface all semi-external algorithms
+//!   are written against, implemented by both representations so every
+//!   algorithm can run fully in memory (tests, micro-benchmarks) or against
+//!   real files (experiments) with identical code;
+//! * [`builder`] — semi-external construction: external sort of the edge
+//!   set, degree computation, and the degree-sort preprocessing of
+//!   Algorithm 1;
+//! * [`edgelist`] — text edge-list parsing (SNAP-style `u v` lines);
+//! * [`hash`] — a small Fx-style hasher for hot `u32`-keyed maps.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adjfile;
+pub mod builder;
+pub mod compressed;
+pub mod csr;
+pub mod delta;
+pub mod edgelist;
+pub mod hash;
+pub mod scan;
+
+pub use adjfile::AdjFile;
+pub use compressed::{compress_adj, CompressedAdjFile};
+pub use builder::{build_adj_file, degree_sort_adj_file, GraphBuilder};
+pub use csr::CsrGraph;
+pub use delta::DeltaGraph;
+pub use scan::{GraphScan, OrderedCsr};
+
+/// Vertex identifier. Graphs with up to `u32::MAX` vertices are supported;
+/// the paper's largest graph (Clueweb12) has 978 million vertices, well
+/// within range, and 4-byte ids are exactly the memory-budget assumption of
+/// the paper's introduction.
+pub type VertexId = u32;

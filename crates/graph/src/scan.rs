@@ -1,0 +1,179 @@
+//! The streaming interface of the semi-external model.
+//!
+//! Every algorithm in `mis-core` touches the edge set exclusively through
+//! [`GraphScan::scan`]: a full sequential pass over all adjacency records
+//! in the representation's storage order. This is precisely the access
+//! pattern the paper's algorithms are allowed — no random access to edges.
+//!
+//! Implementations:
+//! * [`crate::CsrGraph`] — in-memory, storage order = vertex id order;
+//! * [`OrderedCsr`] — in-memory with an explicit record order (used to
+//!   emulate a degree-sorted file without disk I/O);
+//! * [`crate::AdjFile`] — on disk, storage order = the order records were
+//!   written (vertex-id order from the builder, degree order after the
+//!   Algorithm 1 preprocessing step).
+
+use std::io;
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// A graph that can be scanned sequentially, record by record.
+///
+/// One *record* is a vertex together with its full neighbour list. A scan
+/// visits every vertex exactly once; the visiting order is a property of
+/// the implementation and is significant (the paper's Greedy requires
+/// ascending-degree order, and the swap algorithms' conflict resolution
+/// gives earlier records preemption rights).
+pub trait GraphScan {
+    /// Number of vertices (`|V|`; always fits in memory in this model).
+    fn num_vertices(&self) -> usize;
+
+    /// Number of undirected edges (`|E|`).
+    fn num_edges(&self) -> u64;
+
+    /// Performs one full sequential scan, invoking `f(v, neighbours)` for
+    /// every vertex in storage order.
+    fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()>;
+
+    /// A short human-readable description of the backing storage.
+    fn storage(&self) -> &'static str {
+        "unknown"
+    }
+}
+
+impl GraphScan for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        CsrGraph::num_edges(self)
+    }
+
+    fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
+        for v in self.vertices() {
+            f(v, self.neighbors(v));
+        }
+        Ok(())
+    }
+
+    fn storage(&self) -> &'static str {
+        "csr"
+    }
+}
+
+/// An in-memory CSR graph scanned in an explicit record order.
+///
+/// This emulates the degree-sorted adjacency file of Algorithm 1 without
+/// any disk I/O; experiments that want real block transfers use
+/// [`crate::AdjFile`] instead.
+#[derive(Debug, Clone)]
+pub struct OrderedCsr<'a> {
+    graph: &'a CsrGraph,
+    order: Vec<VertexId>,
+}
+
+impl<'a> OrderedCsr<'a> {
+    /// Wraps `graph` with an explicit scan order.
+    ///
+    /// `order` must be a permutation of `0..|V|`; checked in debug builds.
+    pub fn new(graph: &'a CsrGraph, order: Vec<VertexId>) -> Self {
+        debug_assert_eq!(order.len(), graph.num_vertices());
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; graph.num_vertices()];
+            for &v in &order {
+                assert!(!seen[v as usize], "order is not a permutation");
+                seen[v as usize] = true;
+            }
+        }
+        Self { graph, order }
+    }
+
+    /// Wraps `graph` in ascending-degree order (ties broken by id), the
+    /// order produced by Algorithm 1's preprocessing sort.
+    pub fn degree_sorted(graph: &'a CsrGraph) -> Self {
+        let mut order: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+        order.sort_by_key(|&v| (graph.degree(v), v));
+        Self { graph, order }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The scan order.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+}
+
+impl GraphScan for OrderedCsr<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.graph.num_edges()
+    }
+
+    fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
+        for &v in &self.order {
+            f(v, self.graph.neighbors(v));
+        }
+        Ok(())
+    }
+
+    fn storage(&self) -> &'static str {
+        "csr-ordered"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> CsrGraph {
+        // Vertex 0 is the hub of a 4-star.
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn csr_scan_visits_in_id_order() {
+        let g = star();
+        let mut seen = Vec::new();
+        g.scan(&mut |v, ns| seen.push((v, ns.len()))).unwrap();
+        assert_eq!(seen, vec![(0, 4), (1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn degree_sorted_order_puts_leaves_first() {
+        let g = star();
+        let ordered = OrderedCsr::degree_sorted(&g);
+        assert_eq!(ordered.order(), &[1, 2, 3, 4, 0]);
+        let mut seen = Vec::new();
+        ordered.scan(&mut |v, _| seen.push(v)).unwrap();
+        assert_eq!(seen, vec![1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn explicit_order_is_respected() {
+        let g = star();
+        let ordered = OrderedCsr::new(&g, vec![4, 3, 2, 1, 0]);
+        let mut seen = Vec::new();
+        ordered.scan(&mut |v, _| seen.push(v)).unwrap();
+        assert_eq!(seen, vec![4, 3, 2, 1, 0]);
+        assert_eq!(ordered.num_vertices(), 5);
+        assert_eq!(ordered.num_edges(), 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_order_panics_in_debug() {
+        let g = star();
+        let _ = OrderedCsr::new(&g, vec![0, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Analytic results of the paper on the Power-Law Random graph model.
+//!
+//! Section 2.2 of the paper adopts the Aiello–Chung–Lu `P(α,β)` model: the
+//! number of vertices of degree `x` is `y` with `log y = α − β·log x`,
+//! i.e. `n_x = e^α / x^β`, realised by a random matching over degree-many
+//! vertex copies. On this model the paper proves:
+//!
+//! * **Lemma 1 / Proposition 2** — the expected independent-set size of the
+//!   semi-external Greedy algorithm, [`greedy::expected_greedy_size`]
+//!   (`GR(α,β)`), behind Table 2 and Table 9;
+//! * **Lemma 3** — the degree bound `d_s` for vertices that can take part
+//!   in a 1-k swap, [`swap::swap_degree_bound`];
+//! * **Proposition 5** — the expected first-round swap gain `SG(α,β)` of
+//!   one-k-swap, [`swap::expected_swap_gain`], behind Figure 6;
+//! * **Lemma 6** — the degree bound `d_2k` and size bound for the SC sets
+//!   of two-k-swap, [`twok`].
+//!
+//! All formulas reduce to partial zeta sums `ζ(x, y) = Σ_{i=1..y} i^{-x}`
+//! ([`zeta::partial_zeta`]) and log-binomials ([`special::ln_choose`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod greedy;
+pub mod params;
+pub mod special;
+pub mod swap;
+pub mod twok;
+pub mod zeta;
+
+pub use greedy::{expected_greedy_by_degree, expected_greedy_size};
+pub use params::PlrgParams;
+pub use swap::{expected_swap_gain, swap_degree_bound};
+pub use zeta::partial_zeta;

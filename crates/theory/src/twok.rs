@@ -1,0 +1,98 @@
+//! Lemma 6: memory bounds for two-k-swap's SC sets.
+//!
+//! Two-k-swap keeps, per IS pair `(w1, w2)`, a set of *swap candidates*.
+//! Lemma 6 bounds the total number of vertices ever held in SC sets: a
+//! non-IS vertex of degree above `d_2k` has more than two IS neighbours
+//! with high probability and therefore never enters any SC set, giving
+//!
+//! ```text
+//! |SC| < Σ_{i=2}^{d_2k} |V_i| < |V| − e^α
+//! ```
+//!
+//! (`e^α` is the number of degree-1 vertices, which two-k-swap's candidate
+//! pairs never need). The experiments (Figure 10) measure the actual peak
+//! at ≈ 0.13·|V|, far below the bound.
+
+use crate::params::PlrgParams;
+use crate::swap::SwapModel;
+use crate::zeta::partial_zeta;
+
+/// Eq. (17): degree bound `d_2k` above which a vertex almost surely has
+/// more than two IS neighbours (clamped to `[2, Δ]`).
+pub fn two_k_degree_bound(params: &PlrgParams) -> u64 {
+    let model = SwapModel::new(*params);
+    let delta = params.max_degree().max(2);
+    let zeta_mass = model.zeta_mass;
+    let c = model.c;
+    let one_minus = zeta_mass - c;
+    let two_minus = zeta_mass - 2.0 * c;
+    if two_minus <= 0.0 || one_minus <= 0.0 {
+        return delta;
+    }
+    let ln_rate = (one_minus / two_minus).ln();
+    if ln_rate <= f64::EPSILON {
+        return delta;
+    }
+    let ln_v = params.alpha + partial_zeta(params.beta, delta).ln();
+    let numerator = ln_v + 2.0 * (zeta_mass / one_minus).ln();
+    ((numerator / ln_rate).ceil() as u64).clamp(2, delta)
+}
+
+/// Lemma 6's loose bound `|V| − e^α` on the total SC membership.
+pub fn sc_bound_loose(params: &PlrgParams) -> f64 {
+    (params.vertices() - params.alpha.exp()).max(0.0)
+}
+
+/// The tighter sum `Σ_{i=2}^{d_2k} |V_i|` from the proof of Lemma 6.
+pub fn sc_bound(params: &PlrgParams) -> f64 {
+    let d2k = two_k_degree_bound(params);
+    (2..=d2k).map(|i| params.count_with_degree(i)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(beta: f64) -> PlrgParams {
+        PlrgParams::fit_alpha(1e5, beta)
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for beta in [1.7, 2.0, 2.7] {
+            let p = params(beta);
+            let tight = sc_bound(&p);
+            let loose = sc_bound_loose(&p);
+            assert!(tight >= 0.0);
+            assert!(
+                tight <= loose + 1.0,
+                "β={beta}: tight={tight} loose={loose}"
+            );
+        }
+    }
+
+    #[test]
+    fn loose_bound_excludes_degree_one_mass() {
+        let p = params(2.0);
+        let degree_one = p.count_with_degree(1);
+        assert!((sc_bound_loose(&p) - (p.vertices() - degree_one)).abs() / p.vertices() < 0.01);
+    }
+
+    #[test]
+    fn degree_bound_in_range() {
+        for beta in [1.7, 2.2, 2.7] {
+            let p = params(beta);
+            let d = two_k_degree_bound(&p);
+            assert!(d >= 2 && d <= p.max_degree().max(2), "β={beta}: d_2k={d}");
+        }
+    }
+
+    #[test]
+    fn paper_figure10_headroom() {
+        // The measured |SC| ≈ 0.13·|V| must sit below the analytic bound.
+        for beta in [1.7, 2.0, 2.7] {
+            let p = params(beta);
+            assert!(sc_bound_loose(&p) > 0.13 * p.vertices(), "β={beta}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Partial zeta sums.
+//!
+//! The paper writes `ζ(x, y) = Σ_{i=1}^{y} 1/i^x` and expresses every
+//! quantity of the `P(α,β)` model through it: `|V| = ζ(β, Δ)·e^α`, the
+//! degree sum is `ζ(β−1, Δ)·e^α`, and the greedy/swap expectations are
+//! ratios of partial zetas.
+
+/// `ζ(x, y) = Σ_{i=1}^{y} i^{-x}`; returns 0 for `y == 0`.
+///
+/// Direct summation. The largest argument the experiments use is the
+/// maximum degree `Δ = ⌊e^{α/β}⌋`, below a few million for every
+/// configuration in the paper, so a simple loop is both exact enough and
+/// fast enough (the sweep harness memoises per-`(α,β)` values anyway).
+pub fn partial_zeta(x: f64, y: u64) -> f64 {
+    let mut sum = 0.0;
+    // Summing small terms first reduces floating-point error.
+    for i in (1..=y).rev() {
+        sum += (i as f64).powf(-x);
+    }
+    sum
+}
+
+/// Incremental evaluator for `ζ(x, ·)` at a fixed exponent.
+///
+/// The greedy formula needs `ζ(β−1, i)` for every degree `i = 1..Δ`;
+/// recomputing each prefix would be quadratic, so this helper exposes the
+/// running prefix sums in one pass.
+#[derive(Debug, Clone)]
+pub struct ZetaPrefix {
+    /// `prefix[i] = ζ(x, i)`, with `prefix[0] = 0`.
+    prefix: Vec<f64>,
+}
+
+impl ZetaPrefix {
+    /// Precomputes `ζ(x, i)` for all `i <= max_y`.
+    pub fn new(x: f64, max_y: u64) -> Self {
+        let mut prefix = Vec::with_capacity(max_y as usize + 1);
+        prefix.push(0.0);
+        let mut sum = 0.0;
+        for i in 1..=max_y {
+            sum += (i as f64).powf(-x);
+            prefix.push(sum);
+        }
+        Self { prefix }
+    }
+
+    /// `ζ(x, y)`; `y` must be within the precomputed range.
+    pub fn at(&self, y: u64) -> f64 {
+        self.prefix[y as usize]
+    }
+
+    /// Largest precomputed `y`.
+    pub fn max_y(&self) -> u64 {
+        (self.prefix.len() - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_terms() {
+        assert_eq!(partial_zeta(2.0, 0), 0.0);
+    }
+
+    #[test]
+    fn harmonic_numbers() {
+        // ζ(1, 4) = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+        assert!((partial_zeta(1.0, 4) - 25.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_riemann_zeta_two() {
+        // ζ(2) = π²/6; the partial sum at 10⁶ is within 1e-6 + slack.
+        let z = partial_zeta(2.0, 1_000_000);
+        let exact = std::f64::consts::PI * std::f64::consts::PI / 6.0;
+        assert!((z - exact).abs() < 2e-6, "got {z}, want ≈ {exact}");
+    }
+
+    #[test]
+    fn exponent_zero_counts() {
+        assert_eq!(partial_zeta(0.0, 17), 17.0);
+    }
+
+    #[test]
+    fn negative_exponent_sums_powers() {
+        // ζ(−1, 4) = 1 + 2 + 3 + 4 = 10.
+        assert!((partial_zeta(-1.0, 4) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_matches_direct() {
+        let p = ZetaPrefix::new(1.7, 100);
+        for y in [0u64, 1, 2, 50, 100] {
+            assert!((p.at(y) - partial_zeta(1.7, y)).abs() < 1e-10);
+        }
+        assert_eq!(p.max_y(), 100);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the full algorithm pipeline, in memory.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a power-law random graph from the paper's `P(α,β)` model,
+//! runs Greedy → One-k-swap → Two-k-swap, and compares every result to
+//! the Algorithm 5 upper bound.
+
+use semi_mis::prelude::*;
+
+fn main() {
+    // A P(α,β) graph with ~50k vertices and tail exponent β = 2.0.
+    let graph = semi_mis::gen::Plrg::with_vertices(50_000, 2.0).seed(42).generate();
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // Algorithm 1 wants the records in ascending degree order.
+    let sorted = OrderedCsr::degree_sorted(&graph);
+    let bound = upper_bound_scan(&sorted);
+
+    let greedy = Greedy::new().run(&sorted);
+    println!(
+        "greedy:      |IS| = {:>6}  (ratio ≥ {:.4})",
+        greedy.set.len(),
+        greedy.set.len() as f64 / bound as f64
+    );
+
+    let one_k = OneKSwap::new().run(&sorted, &greedy.set);
+    println!(
+        "one-k-swap:  |IS| = {:>6}  (ratio ≥ {:.4}, {} rounds)",
+        one_k.result.set.len(),
+        one_k.result.set.len() as f64 / bound as f64,
+        one_k.stats.num_rounds()
+    );
+
+    let two_k = TwoKSwap::new().run(&sorted, &greedy.set);
+    println!(
+        "two-k-swap:  |IS| = {:>6}  (ratio ≥ {:.4}, {} rounds, peak |SC| = {})",
+        two_k.result.set.len(),
+        two_k.result.set.len() as f64 / bound as f64,
+        two_k.stats.num_rounds(),
+        two_k.stats.sc_peak_vertices
+    );
+
+    assert!(is_independent_set(&graph, &two_k.result.set));
+    assert!(is_maximal_independent_set(&graph, &two_k.result.set));
+    println!("upper bound (Algorithm 5): {bound} — all results verified independent and maximal");
+}

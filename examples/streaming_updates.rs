@@ -1,0 +1,63 @@
+//! Incremental maintenance under edge insertions — the paper's
+//! future-work scenario, implemented via the `DeltaGraph` overlay and
+//! `repair_independent_set`.
+//!
+//! ```text
+//! cargo run --release --example streaming_updates
+//! ```
+//!
+//! A social graph receives batches of new friendships; instead of
+//! recomputing the independent set from scratch (a full Greedy + swap
+//! pipeline per batch), each batch is overlaid in memory and the set is
+//! repaired with one eviction scan plus a bounded number of swap rounds.
+
+use semi_mis::algo::incremental::repair_independent_set;
+use semi_mis::graph::DeltaGraph;
+use semi_mis::prelude::*;
+
+fn main() {
+    let base = semi_mis::gen::Plrg::with_vertices(50_000, 2.1).seed(13).generate();
+    let sorted = OrderedCsr::degree_sorted(&base);
+    let greedy = Greedy::new().run(&sorted);
+    let initial = OneKSwap::new().run(&sorted, &greedy.set).result.set;
+    println!(
+        "base graph: {} vertices, {} edges; initial |IS| = {}",
+        base.num_vertices(),
+        base.num_edges(),
+        initial.len()
+    );
+
+    let mut delta = DeltaGraph::new(&base);
+    let mut current = initial;
+    let mut rng_state = 99u64;
+    let mut next = move || {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng_state
+    };
+
+    for batch in 1..=5 {
+        // 1000 random new edges per batch (some will hit the current set).
+        let n = base.num_vertices() as u64;
+        for _ in 0..1000 {
+            let (a, b) = ((next() >> 16) % n, (next() >> 16) % n);
+            if a != b {
+                delta.insert_edge(a as u32, b as u32);
+            }
+        }
+        let out = repair_independent_set(&delta, &current, 2);
+        current = out.swap.result.set;
+        assert!(is_independent_set(&delta, &current));
+        assert!(is_maximal_independent_set(&delta, &current));
+        println!(
+            "batch {batch}: +{} edges (overlay {} KiB), evicted {}, |IS| = {} ({} scans)",
+            delta.added_edges(),
+            delta.overlay_bytes() / 1024,
+            out.evicted,
+            current.len(),
+            out.swap.result.file_scans + 1
+        );
+    }
+    println!("final set verified independent and maximal on the updated graph");
+}

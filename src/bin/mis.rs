@@ -1,0 +1,420 @@
+//! `mis` — command-line driver for the semi-external MIS pipeline.
+//!
+//! ```text
+//! mis gen      <model> <out.adj>         generate a graph file
+//!              plrg --vertices N --beta B [--seed S]
+//!              dataset --name Facebook [--scale F]
+//!              er --vertices N --edges M | ba --vertices N --attach M
+//!              rmat --log-vertices K --edge-factor F
+//! mis convert  <edges.txt> <out.adj>     text edge list → adjacency file
+//! mis sort     <in.adj> <out.adj>        degree-sort (Algorithm 1 preprocessing)
+//! mis compress <in.adj> <out.cadj>       gap-compress (WebGraph-style)
+//! mis stats    <graph>                   size / degree summary
+//! mis bound    <graph>                   Algorithm 5 + matching upper bounds
+//! mis run      <graph> [--algo A] [--rounds N] [--quiet]
+//!              A ∈ greedy | baseline | onek | twok | peel | tfp | dynamic
+//! ```
+//!
+//! `<graph>` accepts plain (`MISADJ01`) and compressed (`MISADJC1`)
+//! adjacency files, detected by magic bytes. Every run prints IS size,
+//! scan counts, block transfers and the modelled memory, and verifies the
+//! result before reporting success.
+
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use semi_mis::algo::peeling::peel_and_solve;
+use semi_mis::extmem::SortConfig;
+use semi_mis::graph::{build_adj_file, compress_adj, degree_sort_adj_file, edgelist, CompressedAdjFile};
+use semi_mis::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", USAGE.trim());
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "
+usage: mis <command> ...
+  gen <plrg|dataset|er|ba|rmat> [options] <out.adj>
+  convert <edges.txt> <out.adj>
+  sort <in.adj> <out.adj>
+  compress <in.adj> <out.cadj>
+  stats <graph>
+  bound <graph>
+  run <graph> [--algo greedy|baseline|onek|twok|peel|tfp|dynamic] [--rounds N]
+";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "convert" => cmd_convert(rest),
+        "sort" => cmd_sort(rest),
+        "compress" => cmd_compress(rest),
+        "stats" => cmd_stats(rest),
+        "bound" => cmd_bound(rest),
+        "run" => cmd_run(rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parsed `--name value` option pairs.
+type Options = Vec<(String, String)>;
+
+/// Pulls `--name value` options and positional arguments apart.
+fn parse_opts(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            options.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, options))
+}
+
+fn opt<'a>(options: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    options.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn opt_parse<T: std::str::FromStr>(options: &[(String, String)], name: &str, default: T) -> Result<T, String> {
+    match opt(options, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+/// Either flavour of on-disk graph, behind one scan interface.
+enum AnyFile {
+    Plain(AdjFile),
+    Compressed(CompressedAdjFile),
+}
+
+impl AnyFile {
+    fn open(path: &Path, stats: Arc<IoStats>) -> Result<Self, String> {
+        let mut magic = [0u8; 8];
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_exact(&mut magic))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        match &magic {
+            b"MISADJ01" => AdjFile::open(path, stats)
+                .map(AnyFile::Plain)
+                .map_err(|e| e.to_string()),
+            b"MISADJC1" => CompressedAdjFile::open(path, stats)
+                .map(AnyFile::Compressed)
+                .map_err(|e| e.to_string()),
+            _ => Err(format!("{}: not an adjacency file", path.display())),
+        }
+    }
+
+    fn scan_ref(&self) -> &dyn GraphScan {
+        match self {
+            AnyFile::Plain(f) => f,
+            AnyFile::Compressed(f) => f,
+        }
+    }
+}
+
+fn write_graph(graph: &semi_mis::graph::CsrGraph, out: &Path) -> Result<(), String> {
+    let stats = IoStats::shared();
+    build_adj_file(graph, out, stats, 64 * 1024).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} vertices, {} edges",
+        out.display(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let [model, out] = pos.as_slice() else {
+        return Err("gen needs: <model> <out.adj>".into());
+    };
+    let out = PathBuf::from(out);
+    let seed: u64 = opt_parse(&opts, "seed", 42)?;
+    let graph = match model.as_str() {
+        "plrg" => {
+            let n: u64 = opt_parse(&opts, "vertices", 100_000)?;
+            let beta: f64 = opt_parse(&opts, "beta", 2.0)?;
+            semi_mis::gen::Plrg::with_vertices(n, beta).seed(seed).generate()
+        }
+        "dataset" => {
+            let name = opt(&opts, "name").ok_or("dataset needs --name")?;
+            let scale: f64 = opt_parse(&opts, "scale", 1.0)?;
+            semi_mis::gen::datasets::by_name(name)
+                .ok_or_else(|| format!("unknown dataset `{name}`"))?
+                .generate(scale)
+        }
+        "er" => {
+            let n: usize = opt_parse(&opts, "vertices", 100_000)?;
+            let m: u64 = opt_parse(&opts, "edges", 300_000)?;
+            semi_mis::gen::er::gnm(n, m, seed)
+        }
+        "ba" => {
+            let n: usize = opt_parse(&opts, "vertices", 100_000)?;
+            let m: usize = opt_parse(&opts, "attach", 3)?;
+            semi_mis::gen::ba::barabasi_albert(n, m, seed)
+        }
+        "rmat" => {
+            let scale: u32 = opt_parse(&opts, "log-vertices", 16)?;
+            let ef: u64 = opt_parse(&opts, "edge-factor", 8)?;
+            semi_mis::gen::rmat::rmat(scale, ef, semi_mis::gen::rmat::RmatParams::graph500(), seed)
+        }
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    write_graph(&graph, &out)
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let [input, out] = args else {
+        return Err("convert needs: <edges.txt> <out.adj>".into());
+    };
+    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let graph = edgelist::read_csr(BufReader::new(file)).map_err(|e| e.to_string())?;
+    write_graph(&graph, Path::new(out))
+}
+
+fn cmd_sort(args: &[String]) -> Result<(), String> {
+    let [input, out] = args else {
+        return Err("sort needs: <in.adj> <out.adj>".into());
+    };
+    let stats = IoStats::shared();
+    let file = AdjFile::open(Path::new(input), Arc::clone(&stats)).map_err(|e| e.to_string())?;
+    let scratch = ScratchDir::new("mis-cli-sort").map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    degree_sort_adj_file(&file, Path::new(out), &SortConfig::default(), &scratch)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "degree-sorted {} -> {} in {:.1}s ({})",
+        input,
+        out,
+        start.elapsed().as_secs_f64(),
+        stats.snapshot()
+    );
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let [input, out] = args else {
+        return Err("compress needs: <in.adj> <out.cadj>".into());
+    };
+    let stats = IoStats::shared();
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let compressed =
+        compress_adj(file.scan_ref(), Path::new(out), stats, 64 * 1024).map_err(|e| e.to_string())?;
+    let before = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
+    let after = compressed.disk_bytes().map_err(|e| e.to_string())?;
+    println!(
+        "compressed {input} ({before} B) -> {out} ({after} B), ratio {:.2}x",
+        before as f64 / after as f64
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [input] = args else {
+        return Err("stats needs: <graph>".into());
+    };
+    let stats = IoStats::shared();
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let scan = file.scan_ref();
+    let n = scan.num_vertices();
+    let mut max_deg = 0usize;
+    let mut isolated = 0u64;
+    let mut degree_sum = 0u64;
+    let mut pendant = 0u64;
+    scan.scan(&mut |_, ns| {
+        max_deg = max_deg.max(ns.len());
+        degree_sum += ns.len() as u64;
+        match ns.len() {
+            0 => isolated += 1,
+            1 => pendant += 1,
+            _ => {}
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    println!("{input} ({}):", scan.storage());
+    println!("  |V| = {n}");
+    println!("  |E| = {}", scan.num_edges());
+    println!("  avg degree = {:.2}", degree_sum as f64 / n.max(1) as f64);
+    println!("  max degree = {max_deg}");
+    println!("  isolated vertices = {isolated}");
+    println!("  pendant vertices  = {pendant}");
+    Ok(())
+}
+
+fn cmd_bound(args: &[String]) -> Result<(), String> {
+    let [input] = args else {
+        return Err("bound needs: <graph>".into());
+    };
+    let stats = IoStats::shared();
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let scan = file.scan_ref();
+    let star = upper_bound_scan(scan);
+    let matching = semi_mis::algo::matching_bound(scan);
+    println!("Algorithm 5 (star partition): {star}");
+    println!("matching bound (|V| - |M|):   {matching}");
+    println!("best: {}", star.min(matching));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let [input] = pos.as_slice() else {
+        return Err("run needs: <graph>".into());
+    };
+    let algo = opt(&opts, "algo").unwrap_or("twok");
+    let rounds: u32 = opt_parse(&opts, "rounds", 0)?;
+    let config = if rounds > 0 {
+        SwapConfig::early_stop(rounds)
+    } else {
+        SwapConfig::default()
+    };
+    let quiet = opt(&opts, "quiet").is_some();
+
+    let stats = IoStats::shared();
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let scan = file.scan_ref();
+    let start = Instant::now();
+    let (set, scans, memory) = match algo {
+        "greedy" | "baseline" => {
+            let r = Greedy::new().run(scan);
+            (r.set, r.file_scans, r.memory)
+        }
+        "onek" => {
+            let g = Greedy::new().run(scan);
+            let o = OneKSwap::with_config(config).run(scan, &g.set);
+            (o.result.set, g.file_scans + o.result.file_scans, o.result.memory)
+        }
+        "twok" => {
+            let g = Greedy::new().run(scan);
+            let o = TwoKSwap::with_config(config).run(scan, &g.set);
+            (o.result.set, g.file_scans + o.result.file_scans, o.result.memory)
+        }
+        "peel" => {
+            let (r, outcome) = peel_and_solve(scan, config);
+            if !quiet {
+                println!(
+                    "peeled: {} included, {} excluded, kernel {}",
+                    outcome.included.len(),
+                    outcome.excluded,
+                    outcome.kernel_vertices
+                );
+            }
+            (r.set, r.file_scans, r.memory)
+        }
+        "tfp" => {
+            let r = TfpMaximalIs::new()
+                .run(scan, Arc::clone(&stats))
+                .map_err(|e| e.to_string())?;
+            (r.set, r.file_scans, r.memory)
+        }
+        "dynamic" => {
+            // In-memory baseline: materialise the graph first.
+            let mut b = semi_mis::graph::GraphBuilder::new(scan.num_vertices());
+            scan.scan(&mut |v, ns| {
+                for &u in ns {
+                    b.add_edge(v, u);
+                }
+            })
+            .map_err(|e| e.to_string())?;
+            let g = b.build();
+            let r = DynamicUpdate::new().run(&g);
+            (r.set, r.file_scans, r.memory)
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let elapsed = start.elapsed();
+
+    let independent = is_independent_set(scan, &set);
+    let maximal = is_maximal_independent_set(scan, &set);
+    println!("algorithm = {algo}");
+    println!("|IS| = {}", set.len());
+    println!("time = {:.2}s", elapsed.as_secs_f64());
+    println!("algorithm scans = {scans}");
+    println!("modelled memory = {} B", memory.total());
+    println!("io = {}", stats.snapshot());
+    println!("verified: independent = {independent}, maximal = {maximal}");
+    if !independent {
+        return Err("result failed verification".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_opts_splits_positionals_and_options() {
+        let (pos, opts) = parse_opts(&strs(&["in.adj", "--algo", "twok", "out.adj", "--rounds", "3"])).unwrap();
+        assert_eq!(pos, strs(&["in.adj", "out.adj"]));
+        assert_eq!(opt(&opts, "algo"), Some("twok"));
+        assert_eq!(opt(&opts, "rounds"), Some("3"));
+        assert_eq!(opt(&opts, "missing"), None);
+    }
+
+    #[test]
+    fn parse_opts_rejects_dangling_flag() {
+        assert!(parse_opts(&strs(&["x", "--algo"])).is_err());
+    }
+
+    #[test]
+    fn opt_parse_defaults_and_errors() {
+        let (_, opts) = parse_opts(&strs(&["--vertices", "100"])).unwrap();
+        assert_eq!(opt_parse(&opts, "vertices", 5u64).unwrap(), 100);
+        assert_eq!(opt_parse(&opts, "beta", 2.5f64).unwrap(), 2.5);
+        let (_, bad) = parse_opts(&strs(&["--vertices", "lots"])).unwrap();
+        assert!(opt_parse(&bad, "vertices", 5u64).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(dispatch(&strs(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn any_file_rejects_garbage() {
+        let dir = ScratchDir::new("cli-test").unwrap();
+        let path = dir.file("junk.bin");
+        std::fs::write(&path, b"garbage garbage!").unwrap();
+        assert!(AnyFile::open(&path, IoStats::shared()).is_err());
+        assert!(AnyFile::open(&dir.file("missing.adj"), IoStats::shared()).is_err());
+    }
+
+    #[test]
+    fn gen_and_run_round_trip() {
+        let dir = ScratchDir::new("cli-e2e").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&["gen", "er", "--vertices", "500", "--edges", "1000", &out])).unwrap();
+        dispatch(&strs(&["stats", &out])).unwrap();
+        dispatch(&strs(&["bound", &out])).unwrap();
+        dispatch(&strs(&["run", &out, "--algo", "greedy"])).unwrap();
+        let cout = dir.file("g.cadj").display().to_string();
+        dispatch(&strs(&["compress", &out, &cout])).unwrap();
+        dispatch(&strs(&["run", &cout, "--algo", "twok", "--rounds", "2"])).unwrap();
+    }
+}

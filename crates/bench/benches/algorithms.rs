@@ -12,7 +12,9 @@ const VERTICES: u64 = 20_000;
 const BETA: f64 = 2.0;
 
 fn bench_algorithms(c: &mut Criterion) {
-    let graph = mis_gen::Plrg::with_vertices(VERTICES, BETA).seed(11).generate();
+    let graph = mis_gen::Plrg::with_vertices(VERTICES, BETA)
+        .seed(11)
+        .generate();
     let sorted = OrderedCsr::degree_sorted(&graph);
     let greedy_set = Greedy::new().run(&sorted).set;
 

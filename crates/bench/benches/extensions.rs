@@ -15,7 +15,13 @@ fn bench_compressed_scan(c: &mut Criterion) {
     let graph = mis_gen::Plrg::with_vertices(50_000, 2.0).seed(3).generate();
     let scratch = ScratchDir::new("bench-ext").unwrap();
     let stats = IoStats::shared();
-    let plain = build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 64 * 1024).unwrap();
+    let plain = build_adj_file(
+        &graph,
+        &scratch.file("g.adj"),
+        Arc::clone(&stats),
+        64 * 1024,
+    )
+    .unwrap();
     let compressed = compress_adj(&graph, &scratch.file("g.cadj"), stats, 64 * 1024).unwrap();
     group.throughput(Throughput::Elements(2 * graph.num_edges()));
     group.bench_function("plain_file", |b| {
@@ -28,7 +34,9 @@ fn bench_compressed_scan(c: &mut Criterion) {
     group.bench_function("gap_compressed_file", |b| {
         b.iter(|| {
             let mut acc = 0u64;
-            compressed.scan(&mut |_, ns| acc += ns.len() as u64).unwrap();
+            compressed
+                .scan(&mut |_, ns| acc += ns.len() as u64)
+                .unwrap();
             acc
         })
     });

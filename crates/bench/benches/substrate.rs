@@ -6,7 +6,9 @@ use std::io::Write;
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mis_extmem::{external_sort, BlockReader, BlockWriter, ExternalPq, IoStats, ScratchDir, SortConfig};
+use mis_extmem::{
+    external_sort, BlockReader, BlockWriter, ExternalPq, IoStats, ScratchDir, SortConfig,
+};
 use mis_graph::{build_adj_file, GraphScan};
 
 fn bench_block_io(c: &mut Criterion) {
@@ -31,7 +33,9 @@ fn bench_external_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("external_sort");
     group.sample_size(10);
     for &n in &[100_000u64, 1_000_000] {
-        let input: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let input: Vec<u64> = (0..n)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         group.throughput(Throughput::Elements(n));
         group.bench_function(format!("spilling_{n}_u64"), |b| {
             b.iter(|| {
@@ -99,5 +103,11 @@ fn bench_scans(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_block_io, bench_external_sort, bench_external_pq, bench_scans);
+criterion_group!(
+    benches,
+    bench_block_io,
+    bench_external_sort,
+    bench_external_pq,
+    bench_scans
+);
 criterion_main!(benches);

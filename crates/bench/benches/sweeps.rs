@@ -11,7 +11,9 @@ fn bench_beta_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("beta_sweep_two_k");
     group.sample_size(10);
     for &beta in &[1.7f64, 2.0, 2.4, 2.7] {
-        let graph = mis_gen::Plrg::with_vertices(15_000, beta).seed(5).generate();
+        let graph = mis_gen::Plrg::with_vertices(15_000, beta)
+            .seed(5)
+            .generate();
         let sorted = OrderedCsr::degree_sorted(&graph);
         let greedy = Greedy::new().run(&sorted).set;
         group.throughput(Throughput::Elements(2 * graph.num_edges()));

@@ -30,10 +30,16 @@ pub fn run() {
         ("early stop r=3", SwapConfig::early_stop(3)),
     ];
 
-    let header = ["config", "one-k size", "one-k rounds", "two-k size", "two-k rounds"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>();
+    let header = [
+        "config",
+        "one-k size",
+        "one-k rounds",
+        "two-k size",
+        "two-k rounds",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
     let mut rows = Vec::new();
     for (label, config) in configs {
         let one = OneKSwap::with_config(config).run(&sorted, &greedy.set);

@@ -14,10 +14,16 @@ use crate::harness;
 /// Runs the experiment and prints the table.
 pub fn run() {
     println!("== Cascade worst case (Figure 5 generalised): rounds vs blocks ==");
-    let header = ["blocks k", "|V|", "initial |IS|", "final |IS|", "swap rounds"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>();
+    let header = [
+        "blocks k",
+        "|V|",
+        "initial |IS|",
+        "final |IS|",
+        "swap rounds",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
     let mut rows = Vec::new();
     for k in [3usize, 10, 30, 100, 300] {
         let graph = cascade_swap(k);
@@ -28,7 +34,12 @@ pub fn run() {
             ..SwapConfig::default()
         })
         .run(&sorted, &initial);
-        let swap_rounds = out.stats.rounds.iter().filter(|r| r.swapped_out > 0).count();
+        let swap_rounds = out
+            .stats
+            .rounds
+            .iter()
+            .filter(|r| r.swapped_out > 0)
+            .count();
         rows.push(vec![
             k.to_string(),
             graph.num_vertices().to_string(),

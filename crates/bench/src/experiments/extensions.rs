@@ -6,8 +6,8 @@ use std::sync::Arc;
 use mis_core::peeling::peel;
 use mis_core::{matching_bound, upper_bound_scan, Greedy, SwapConfig, TwoKSwap};
 use mis_extmem::{IoStats, ScratchDir};
-use mis_graph::{build_adj_file, compress_adj, GraphScan, OrderedCsr};
 use mis_gen::DATASETS;
+use mis_graph::{build_adj_file, compress_adj, GraphScan, OrderedCsr};
 
 use crate::harness;
 
@@ -35,7 +35,10 @@ pub fn bounds() {
             star.to_string(),
             matching.to_string(),
             best.to_string(),
-            format!("{:.2}%", 100.0 * (best as f64 - two.result.set.len() as f64) / best as f64),
+            format!(
+                "{:.2}%",
+                100.0 * (best as f64 - two.result.set.len() as f64) / best as f64
+            ),
         ]);
     }
     harness::print_table(&header, &rows);
@@ -48,7 +51,14 @@ pub fn peeling() {
     let scale = mis_gen::datasets::env_scale();
     println!("== Reducing-peeling (exact degree-0/1 reductions, REPRO_SCALE={scale}) ==");
     let header = [
-        "Data Set", "|V|", "peeled in", "peeled out", "kernel", "scans", "peel+solve", "plain two-k",
+        "Data Set",
+        "|V|",
+        "peeled in",
+        "peeled out",
+        "kernel",
+        "scans",
+        "peel+solve",
+        "plain two-k",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -73,25 +83,36 @@ pub fn peeling() {
         ]);
     }
     harness::print_table(&header, &rows);
-    println!("  power-law fringes peel heavily; peel+solve matches plain two-k with a smaller kernel");
+    println!(
+        "  power-law fringes peel heavily; peel+solve matches plain two-k with a smaller kernel"
+    );
 }
 
 /// Compression ratios and scan block counts, plain vs compressed files.
 pub fn compression() {
     let scale = mis_gen::datasets::env_scale();
     println!("== Gap-compressed adjacency files (REPRO_SCALE={scale}) ==");
-    let header = ["Data Set", "plain bytes", "compressed", "ratio", "plain scan blk", "comp scan blk"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>();
+    let header = [
+        "Data Set",
+        "plain bytes",
+        "compressed",
+        "ratio",
+        "plain scan blk",
+        "comp scan blk",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
     let mut rows = Vec::new();
     let block = 64 * 1024usize;
     for d in DATASETS.iter().take(5) {
         let g = d.generate(scale);
         let scratch = ScratchDir::new("repro-compress").expect("scratch");
         let stats = IoStats::shared();
-        let plain = build_adj_file(&g, &scratch.file("g.adj"), Arc::clone(&stats), block).expect("build");
-        let comp = compress_adj(&g, &scratch.file("g.cadj"), Arc::clone(&stats), block).expect("compress");
+        let plain =
+            build_adj_file(&g, &scratch.file("g.adj"), Arc::clone(&stats), block).expect("build");
+        let comp =
+            compress_adj(&g, &scratch.file("g.cadj"), Arc::clone(&stats), block).expect("compress");
         let plain_bytes = plain.disk_bytes().expect("meta");
         let comp_bytes = comp.disk_bytes().expect("meta");
         let before = stats.snapshot();

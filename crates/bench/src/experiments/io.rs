@@ -26,8 +26,13 @@ pub fn run() {
 
     // Build + degree-sort on disk.
     let before = stats.snapshot();
-    let unsorted = build_adj_file(&graph, &scratch.file("graph.adj"), Arc::clone(&stats), block_size)
-        .expect("build adj file");
+    let unsorted = build_adj_file(
+        &graph,
+        &scratch.file("graph.adj"),
+        Arc::clone(&stats),
+        block_size,
+    )
+    .expect("build adj file");
     let build_io = stats.snapshot().since(&before);
 
     let before = stats.snapshot();
@@ -63,26 +68,49 @@ pub fn run() {
 
     let before = stats.snapshot();
     let greedy = Greedy::new().run(&sorted);
-    record("Greedy", stats.snapshot().since(&before), Some(greedy.set.len() as u64));
+    record(
+        "Greedy",
+        stats.snapshot().since(&before),
+        Some(greedy.set.len() as u64),
+    );
 
     let before = stats.snapshot();
     let one = OneKSwap::new().run(&sorted, &greedy.set);
-    record("One-k-swap", stats.snapshot().since(&before), Some(one.result.set.len() as u64));
+    record(
+        "One-k-swap",
+        stats.snapshot().since(&before),
+        Some(one.result.set.len() as u64),
+    );
 
     let before = stats.snapshot();
     let two = TwoKSwap::new().run(&sorted, &greedy.set);
-    record("Two-k-swap", stats.snapshot().since(&before), Some(two.result.set.len() as u64));
+    record(
+        "Two-k-swap",
+        stats.snapshot().since(&before),
+        Some(two.result.set.len() as u64),
+    );
 
     let before = stats.snapshot();
     let tfp = TfpMaximalIs::new()
         .run(&unsorted, Arc::clone(&stats))
         .expect("tfp");
-    record("STXXL (TFP)", stats.snapshot().since(&before), Some(tfp.set.len() as u64));
+    record(
+        "STXXL (TFP)",
+        stats.snapshot().since(&before),
+        Some(tfp.set.len() as u64),
+    );
 
-    let header = ["phase", "scans", "blocks read", "blocks written", "bytes", "|IS|"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>();
+    let header = [
+        "phase",
+        "scans",
+        "blocks read",
+        "blocks written",
+        "bytes",
+        "|IS|",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
     harness::print_table(&header, &rows);
     println!(
         "  file = {} ({} blocks of {}); Table 1: Greedy = 1 scan, swaps = O(scan(|V|+|E|)) = {} blocks/scan",

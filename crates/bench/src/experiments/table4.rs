@@ -10,8 +10,15 @@ pub fn run() {
     let scale = mis_gen::datasets::env_scale();
     println!("== Table 4: datasets (paper) and their synthetic analogues (REPRO_SCALE={scale}) ==");
     let header = [
-        "Data Set", "paper |V|", "paper |E|", "paper avg", "paper disk", "analog |V|", "analog |E|",
-        "analog avg", "analog disk",
+        "Data Set",
+        "paper |V|",
+        "paper |E|",
+        "paper avg",
+        "paper disk",
+        "analog |V|",
+        "analog |E|",
+        "analog avg",
+        "analog disk",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -12,15 +12,28 @@ use crate::harness::{self, DatasetRun};
 pub fn print(runs: &[DatasetRun]) {
     println!("== Table 6: time and modelled memory ==");
     let header = [
-        "Data Set", "t(DynUpd)", "t(STXXL)", "t(Greedy)", "t(One-k)", "t(Two-k)", "m(DynUpd)",
-        "m(STXXL)", "m(Greedy)", "m(One-k)", "m(Two-k)",
+        "Data Set",
+        "t(DynUpd)",
+        "t(STXXL)",
+        "t(Greedy)",
+        "t(One-k)",
+        "t(Two-k)",
+        "m(DynUpd)",
+        "m(STXXL)",
+        "m(Greedy)",
+        "m(One-k)",
+        "m(Two-k)",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect::<Vec<_>>();
     let mut rows = Vec::new();
     for run in runs {
-        let t = |n: &str| run.get(n).map(|r| harness::fmt_time(r.time)).unwrap_or_default();
+        let t = |n: &str| {
+            run.get(n)
+                .map(|r| harness::fmt_time(r.time))
+                .unwrap_or_default()
+        };
         let m = |n: &str| {
             run.get(n)
                 .map(|r| harness::fmt_bytes(r.memory_bytes))

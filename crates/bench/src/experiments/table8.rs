@@ -11,7 +11,14 @@ use crate::harness::{self, DatasetRun};
 pub fn print(runs: &[DatasetRun]) {
     println!("== Table 8: One-k-swap early-stop profile (after Greedy) ==");
     let header = [
-        "Data Set", "round1", "ratio1", "rounds1-2", "ratio2", "rounds1-3", "ratio3", "total",
+        "Data Set",
+        "round1",
+        "ratio1",
+        "rounds1-2",
+        "ratio2",
+        "rounds1-3",
+        "ratio3",
+        "total",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -4,8 +4,7 @@
 use std::time::{Duration, Instant};
 
 use mis_core::{
-    upper_bound_scan, Baseline, DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs,
-    TwoKSwap,
+    upper_bound_scan, Baseline, DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs, TwoKSwap,
 };
 use mis_extmem::IoStats;
 use mis_gen::Dataset;
@@ -250,7 +249,14 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
         println!("  {}", line.join("  "));
     };
     print_row(header);
-    println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "  {}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         print_row(row);
     }

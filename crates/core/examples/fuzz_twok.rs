@@ -36,12 +36,20 @@ fn main() {
     // Power-law shapes with heavier tails.
     for beta in [1.7f64, 2.0, 2.5] {
         for seed in 0..20u64 {
-            let g = mis_gen::Plrg::with_vertices(800, beta).seed(seed).generate();
+            let g = mis_gen::Plrg::with_vertices(800, beta)
+                .seed(seed)
+                .generate();
             let sorted = OrderedCsr::degree_sorted(&g);
             let greedy = Greedy::new().run(&sorted);
             let two = TwoKSwap::new().run(&sorted, &greedy.set);
-            assert!(is_independent_set(&g, &two.result.set), "plrg beta={beta} seed={seed}");
-            assert!(is_maximal_independent_set(&g, &two.result.set), "plrg beta={beta} seed={seed}");
+            assert!(
+                is_independent_set(&g, &two.result.set),
+                "plrg beta={beta} seed={seed}"
+            );
+            assert!(
+                is_maximal_independent_set(&g, &two.result.set),
+                "plrg beta={beta} seed={seed}"
+            );
             checked += 1;
         }
     }

@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn best_bound_is_at_most_either() {
-        let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.0).seed(1).generate();
+        let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.0)
+            .seed(1)
+            .generate();
         let best = best_upper_bound(&g);
         assert!(best <= upper_bound_scan(&g));
         assert!(best <= matching_bound(&g));

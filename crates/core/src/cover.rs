@@ -22,7 +22,9 @@ pub fn cover_from_independent_set<G: GraphScan + ?Sized>(
     for &v in independent_set {
         in_set[v as usize] = true;
     }
-    (0..n as VertexId).filter(|&v| !in_set[v as usize]).collect()
+    (0..n as VertexId)
+        .filter(|&v| !in_set[v as usize])
+        .collect()
 }
 
 /// Whether `cover` touches every edge of `graph` (one sequential scan,
@@ -69,7 +71,9 @@ mod tests {
 
     #[test]
     fn complement_relation_holds() {
-        let g = mis_gen::plrg::Plrg::with_vertices(3_000, 2.1).seed(2).generate();
+        let g = mis_gen::plrg::Plrg::with_vertices(3_000, 2.1)
+            .seed(2)
+            .generate();
         let sorted = OrderedCsr::degree_sorted(&g);
         let cover = min_vertex_cover(&sorted);
         assert!(is_vertex_cover(&g, &cover));

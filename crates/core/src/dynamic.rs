@@ -115,7 +115,9 @@ mod tests {
     fn min_degree_greedy_beats_or_matches_unsorted_scan() {
         // DynamicUpdate re-sorts after every removal, so on most graphs it
         // finds at least as much as the static baseline.
-        let g = mis_gen::plrg::Plrg::with_vertices(3_000, 2.0).seed(1).generate();
+        let g = mis_gen::plrg::Plrg::with_vertices(3_000, 2.0)
+            .seed(1)
+            .generate();
         let dynamic = DynamicUpdate::new().run(&g);
         let baseline = crate::greedy::Baseline::new().run(&g);
         assert!(dynamic.set.len() >= baseline.set.len());

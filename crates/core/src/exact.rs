@@ -35,12 +35,18 @@ pub fn maximum_independent_set(graph: &CsrGraph) -> Vec<VertexId> {
         }
     }
 
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut best_set: u128 = 0;
     let mut best: u32 = 0;
     branch(&adj, full, 0, 0, &mut best, &mut best_set);
 
-    (0..n as VertexId).filter(|&v| best_set & (1u128 << v) != 0).collect()
+    (0..n as VertexId)
+        .filter(|&v| best_set & (1u128 << v) != 0)
+        .collect()
 }
 
 /// Independence number of `graph` (`|V| ≤ 128`).
@@ -73,7 +79,14 @@ fn branch(adj: &[u128], cand: u128, cur: u128, cur_len: u32, best: &mut u32, bes
     }
     let bit = 1u128 << pivot;
     // Include the pivot.
-    branch(adj, cand & !bit & !adj[pivot], cur | bit, cur_len + 1, best, best_set);
+    branch(
+        adj,
+        cand & !bit & !adj[pivot],
+        cur | bit,
+        cur_len + 1,
+        best,
+        best_set,
+    );
     // Exclude the pivot.
     branch(adj, cand & !bit, cur, cur_len, best, best_set);
 }
@@ -89,7 +102,10 @@ mod tests {
         assert_eq!(independence_number(&mis_gen::special::star(7)), 7);
         assert_eq!(independence_number(&mis_gen::special::path(9)), 5);
         assert_eq!(independence_number(&mis_gen::special::cycle(9)), 4);
-        assert_eq!(independence_number(&mis_gen::special::complete_bipartite(3, 8)), 8);
+        assert_eq!(
+            independence_number(&mis_gen::special::complete_bipartite(3, 8)),
+            8
+        );
     }
 
     #[test]

@@ -121,7 +121,17 @@ mod tests {
     fn result_is_always_maximal() {
         let g = CsrGraph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (0, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (0, 4),
+            ],
         );
         for result in [
             Greedy::new().run(&OrderedCsr::degree_sorted(&g)),

@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn batch_insertions_on_power_law_graph() {
-        let g = mis_gen::plrg::Plrg::with_vertices(5_000, 2.1).seed(4).generate();
+        let g = mis_gen::plrg::Plrg::with_vertices(5_000, 2.1)
+            .seed(4)
+            .generate();
         let sorted = OrderedCsr::degree_sorted(&g);
         let initial = Greedy::new().run(&sorted).set;
         assert!(is_maximal_independent_set(&g, &initial));
@@ -109,7 +111,9 @@ mod tests {
         let mut inserted = 0;
         let mut s = 12345u64;
         while inserted < 200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = initial[(s >> 16) as usize % initial.len()];
             let b = initial[(s >> 40) as usize % initial.len()];
             if a != b {

@@ -43,8 +43,8 @@ pub use dynamic::DynamicUpdate;
 pub use greedy::{Baseline, Greedy};
 pub use incremental::repair_independent_set;
 pub use onek::OneKSwap;
-pub use peeling::{peel, peel_and_solve};
 pub use order::degree_order;
+pub use peeling::{peel, peel_and_solve};
 pub use result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapStats};
 pub use tfp::TfpMaximalIs;
 pub use twok::TwoKSwap;

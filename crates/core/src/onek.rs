@@ -319,7 +319,10 @@ mod tests {
         // Example 1: v1 ↔ {v2,v3} wins, v4's swap is conflicted away.
         let ex = figures::figure2();
         let out = run_figure(&ex, SwapConfig::default());
-        assert_eq!(out.result.set, ex.expected_is, "paper: final IS = {{v2,v3,v4}}");
+        assert_eq!(
+            out.result.set, ex.expected_is,
+            "paper: final IS = {{v2,v3,v4}}"
+        );
     }
 
     #[test]
@@ -340,7 +343,12 @@ mod tests {
         let out = run_figure(&ex, SwapConfig::default());
         assert_eq!(out.result.set, ex.expected_is);
         // Rounds with actual swaps: 3 (plus one fixpoint-detection round).
-        let swap_rounds = out.stats.rounds.iter().filter(|r| r.swapped_out > 0).count();
+        let swap_rounds = out
+            .stats
+            .rounds
+            .iter()
+            .filter(|r| r.swapped_out > 0)
+            .count();
         assert_eq!(swap_rounds, 3, "cascade fires one block per round");
     }
 
@@ -350,14 +358,21 @@ mod tests {
         // this is why `repromote_n` defaults to true (DESIGN.md §5).
         let ex = figures::figure5();
         let out = run_figure(&ex, SwapConfig::verbatim());
-        let swap_rounds = out.stats.rounds.iter().filter(|r| r.swapped_out > 0).count();
+        let swap_rounds = out
+            .stats
+            .rounds
+            .iter()
+            .filter(|r| r.swapped_out > 0)
+            .count();
         assert_eq!(swap_rounds, 1);
         assert_eq!(out.result.set.len(), 4); // 3 heads -> {tails of last block} + 2 heads
     }
 
     #[test]
     fn swaps_never_shrink_the_set() {
-        let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.0).seed(5).generate();
+        let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.0)
+            .seed(5)
+            .generate();
         let scan = OrderedCsr::degree_sorted(&g);
         let greedy = Greedy::new().run(&scan);
         let out = OneKSwap::new().run(&scan, &greedy.set);

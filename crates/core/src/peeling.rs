@@ -97,10 +97,8 @@ pub fn peel<G: GraphScan + ?Sized>(graph: &G, max_scans: Option<u64>) -> PeelOut
                         1 => {
                             // Find the single active neighbour and exclude
                             // it (deferred).
-                            let partner = ns
-                                .iter()
-                                .copied()
-                                .find(|&u| state[u as usize] == P::Active);
+                            let partner =
+                                ns.iter().copied().find(|&u| state[u as usize] == P::Active);
                             if let Some(u) = partner {
                                 state[v as usize] = P::Included;
                                 state[u as usize] = P::ExcludedPending;
@@ -194,7 +192,10 @@ impl<G: GraphScan + ?Sized> GraphScan for KernelScan<'_, G> {
 /// The peeled inclusions are exact, so the combined set inherits the
 /// kernel solver's quality on a *smaller* input — the reducing-peeling
 /// recipe.
-pub fn peel_and_solve<G: GraphScan + ?Sized>(graph: &G, config: SwapConfig) -> (MisResult, PeelOutcome) {
+pub fn peel_and_solve<G: GraphScan + ?Sized>(
+    graph: &G,
+    config: SwapConfig,
+) -> (MisResult, PeelOutcome) {
     let n = graph.num_vertices();
     let outcome = peel(graph, None);
     let mut alive = vec![false; n];
@@ -333,7 +334,9 @@ mod tests {
 
     #[test]
     fn peel_and_solve_end_to_end() {
-        let g = mis_gen::plrg::Plrg::with_vertices(5_000, 2.2).seed(6).generate();
+        let g = mis_gen::plrg::Plrg::with_vertices(5_000, 2.2)
+            .seed(6)
+            .generate();
         let sorted = OrderedCsr::degree_sorted(&g);
         let (result, outcome) = peel_and_solve(&sorted, SwapConfig::default());
         assert!(is_independent_set(&g, &result.set));

@@ -184,9 +184,21 @@ mod tests {
         let mut stats = SwapStats::default();
         assert_eq!(stats.swap_ratio_after(3), 1.0);
         stats.rounds = vec![
-            RoundStats { swapped_in: 70, swapped_out: 35, sc_peak_vertices: 0 },
-            RoundStats { swapped_in: 20, swapped_out: 10, sc_peak_vertices: 0 },
-            RoundStats { swapped_in: 10, swapped_out: 5, sc_peak_vertices: 0 },
+            RoundStats {
+                swapped_in: 70,
+                swapped_out: 35,
+                sc_peak_vertices: 0,
+            },
+            RoundStats {
+                swapped_in: 20,
+                swapped_out: 10,
+                sc_peak_vertices: 0,
+            },
+            RoundStats {
+                swapped_in: 10,
+                swapped_out: 5,
+                sc_peak_vertices: 0,
+            },
         ];
         assert_eq!(stats.total_swapped_in(), 100);
         assert!((stats.swap_ratio_after(1) - 0.7).abs() < 1e-12);
@@ -197,7 +209,11 @@ mod tests {
 
     #[test]
     fn round_net_gain() {
-        let r = RoundStats { swapped_in: 5, swapped_out: 2, sc_peak_vertices: 0 };
+        let r = RoundStats {
+            swapped_in: 5,
+            swapped_out: 2,
+            sc_peak_vertices: 0,
+        };
         assert_eq!(r.net_gain(), 3);
     }
 

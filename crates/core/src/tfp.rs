@@ -53,12 +53,17 @@ impl TfpMaximalIs {
     /// (the natural order of a freshly built adjacency file); an error is
     /// returned otherwise, because messages would arrive after their
     /// recipient was processed.
-    pub fn run<G: GraphScan + ?Sized>(&self, graph: &G, stats: Arc<IoStats>) -> io::Result<MisResult> {
+    pub fn run<G: GraphScan + ?Sized>(
+        &self,
+        graph: &G,
+        stats: Arc<IoStats>,
+    ) -> io::Result<MisResult> {
         let n = graph.num_vertices();
         let mut in_set = vec![false; n];
         // Messages are recipient ids; receiving any message means "one of
         // your lower neighbours joined".
-        let mut pq: ExternalPq<u32> = ExternalPq::new(self.pq_memory_records, "tfp", Arc::clone(&stats))?;
+        let mut pq: ExternalPq<u32> =
+            ExternalPq::new(self.pq_memory_records, "tfp", Arc::clone(&stats))?;
 
         let mut order_violation: Option<(VertexId, VertexId)> = None;
         let mut last: Option<VertexId> = None;
@@ -148,7 +153,9 @@ mod tests {
     #[test]
     fn result_is_maximal() {
         for seed in 0..3 {
-            let g = mis_gen::plrg::Plrg::with_vertices(1_000, 2.2).seed(seed).generate();
+            let g = mis_gen::plrg::Plrg::with_vertices(1_000, 2.2)
+                .seed(seed)
+                .generate();
             let stats = IoStats::shared();
             let result = TfpMaximalIs::new().run(&g, stats).unwrap();
             assert!(is_maximal_independent_set(&g, &result.set), "seed {seed}");
@@ -159,17 +166,24 @@ mod tests {
     fn tiny_queue_budget_spills_and_still_agrees() {
         let g = mis_gen::er::gnm(400, 2000, 9);
         let stats = IoStats::shared();
-        let spilling = TfpMaximalIs::with_pq_memory(8).run(&g, Arc::clone(&stats)).unwrap();
+        let spilling = TfpMaximalIs::with_pq_memory(8)
+            .run(&g, Arc::clone(&stats))
+            .unwrap();
         let roomy = TfpMaximalIs::new().run(&g, IoStats::shared()).unwrap();
         assert_eq!(spilling.set, roomy.set);
-        assert!(stats.snapshot().blocks_written > 0, "tiny budget must spill");
+        assert!(
+            stats.snapshot().blocks_written > 0,
+            "tiny budget must spill"
+        );
     }
 
     #[test]
     fn rejects_non_ascending_scan() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
         let reversed = OrderedCsr::new(&g, vec![3, 2, 1, 0]);
-        let err = TfpMaximalIs::new().run(&reversed, IoStats::shared()).unwrap_err();
+        let err = TfpMaximalIs::new()
+            .run(&reversed, IoStats::shared())
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 

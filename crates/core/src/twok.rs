@@ -154,11 +154,8 @@ impl TwoKSwap {
             run.sc_distinct = 0;
 
             // Snapshot for the shrink guard (O(|V|) memory, allowed).
-            let snapshot: Option<(Vec<S>, Vec<u32>, Vec<u32>)> = Some((
-                run.state.clone(),
-                run.isn1.clone(),
-                run.isn2.clone(),
-            ));
+            let snapshot: Option<(Vec<S>, Vec<u32>, Vec<u32>)> =
+                Some((run.state.clone(), run.isn1.clone(), run.isn2.clone()));
 
             // ---- Pre-swap scan (Algorithm 4 per A vertex). ----
             let mut sc: FxHashMap<(u32, u32), ScEntry> = FxHashMap::default();
@@ -233,7 +230,11 @@ impl TwoKSwap {
                                         }
                                         if let Some(entry) = sc.get_mut(&key) {
                                             add_pairs_with_fulls(
-                                                rs, entry, u, &nbr_set, &mut sc_pairs,
+                                                rs,
+                                                entry,
+                                                u,
+                                                &nbr_set,
+                                                &mut sc_pairs,
                                             );
                                         }
                                     }
@@ -629,13 +630,18 @@ mod tests {
     #[test]
     fn never_smaller_than_one_k_on_random_graphs() {
         for seed in 0..3 {
-            let g = mis_gen::plrg::Plrg::with_vertices(1_500, 2.1).seed(seed).generate();
+            let g = mis_gen::plrg::Plrg::with_vertices(1_500, 2.1)
+                .seed(seed)
+                .generate();
             let scan = OrderedCsr::degree_sorted(&g);
             let greedy = Greedy::new().run(&scan);
             let one = OneKSwap::new().run(&scan, &greedy.set);
             let two = TwoKSwap::new().run(&scan, &greedy.set);
             assert!(is_independent_set(&g, &two.result.set), "seed {seed}");
-            assert!(is_maximal_independent_set(&g, &two.result.set), "seed {seed}");
+            assert!(
+                is_maximal_independent_set(&g, &two.result.set),
+                "seed {seed}"
+            );
             assert!(
                 two.result.set.len() + 1 >= one.result.set.len(),
                 "seed {seed}: two-k {} vs one-k {}",
@@ -696,8 +702,26 @@ mod tests {
         // fired a 1-2 swap that put it into the set next to 3 and 5. The
         // nominee join must repair already-scanned neighbours' ISN state.
         let edges = [
-            (0, 1), (0, 4), (0, 8), (1, 2), (1, 4), (2, 3), (2, 5), (2, 7), (3, 4), (3, 8),
-            (3, 9), (4, 5), (4, 6), (4, 7), (5, 8), (5, 9), (6, 7), (6, 8), (6, 9), (7, 8),
+            (0, 1),
+            (0, 4),
+            (0, 8),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (2, 5),
+            (2, 7),
+            (3, 4),
+            (3, 8),
+            (3, 9),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 8),
+            (5, 9),
+            (6, 7),
+            (6, 8),
+            (6, 9),
+            (7, 8),
         ];
         let g = CsrGraph::from_edges(10, &edges);
         let sorted = OrderedCsr::degree_sorted(&g);

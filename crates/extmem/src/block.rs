@@ -162,7 +162,10 @@ impl<W: Write> Write for BlockWriter<W> {
 
     fn flush(&mut self) -> io::Result<()> {
         self.flush_buf()?;
-        self.inner.as_mut().expect("writer already finished").flush()
+        self.inner
+            .as_mut()
+            .expect("writer already finished")
+            .flush()
     }
 }
 
@@ -183,7 +186,8 @@ mod tests {
     fn reader_counts_blocks() {
         let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
         let stats = IoStats::shared();
-        let mut r = BlockReader::with_block_size(Cursor::new(data.clone()), Arc::clone(&stats), 256);
+        let mut r =
+            BlockReader::with_block_size(Cursor::new(data.clone()), Arc::clone(&stats), 256);
         let mut out = Vec::new();
         r.read_to_end(&mut out).unwrap();
         assert_eq!(out, data);
@@ -218,7 +222,10 @@ mod tests {
         for i in 0..500u32 {
             assert_eq!(crate::codec::read_u32(&mut r).unwrap(), i * 3);
         }
-        assert_eq!(crate::codec::read_u32(&mut r).err().unwrap().kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(
+            crate::codec::read_u32(&mut r).err().unwrap().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
     }
 
     #[test]

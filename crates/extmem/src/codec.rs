@@ -34,7 +34,12 @@ pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 ///
 /// Reads through an intermediate byte buffer so the underlying reader sees a
 /// single bulk request instead of `n` four-byte requests.
-pub fn read_u32_into<R: Read>(r: &mut R, dst: &mut Vec<u32>, n: usize, scratch: &mut Vec<u8>) -> io::Result<()> {
+pub fn read_u32_into<R: Read>(
+    r: &mut R,
+    dst: &mut Vec<u32>,
+    n: usize,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
     scratch.clear();
     scratch.resize(n * 4, 0);
     r.read_exact(scratch)?;
@@ -46,7 +51,11 @@ pub fn read_u32_into<R: Read>(r: &mut R, dst: &mut Vec<u32>, n: usize, scratch: 
 }
 
 /// Writes a slice of `u32`s in little-endian order through `scratch`.
-pub fn write_u32_slice<W: Write>(w: &mut W, values: &[u32], scratch: &mut Vec<u8>) -> io::Result<()> {
+pub fn write_u32_slice<W: Write>(
+    w: &mut W,
+    values: &[u32],
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
     scratch.clear();
     scratch.reserve(values.len() * 4);
     for v in values {

@@ -150,7 +150,9 @@ impl<R: Record> ExternalPq<R> {
     fn spill(&mut self) -> io::Result<()> {
         let mut drained: Vec<R> = self.heap.drain().map(|Reverse(r)| r).collect();
         drained.sort_unstable();
-        let path = self.scratch.file(&format!("pq-run-{}.bin", self.next_run_id));
+        let path = self
+            .scratch
+            .file(&format!("pq-run-{}.bin", self.next_run_id));
         self.next_run_id += 1;
         let file = File::create(&path)?;
         let mut w = BlockWriter::with_block_size(file, Arc::clone(&self.stats), self.block_size);
@@ -163,7 +165,8 @@ impl<R: Record> ExternalPq<R> {
         w.finish()?;
 
         let file = File::open(&path)?;
-        let mut reader = BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
+        let mut reader =
+            BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
         let count = codec::read_u64(&mut reader)?;
         let mut run = PqRun {
             reader,

@@ -83,7 +83,11 @@ impl Record for (u32, u32, u32) {
     }
 
     fn decode(buf: &[u8]) -> Self {
-        (u32::decode(&buf[..4]), u32::decode(&buf[4..8]), u32::decode(&buf[8..]))
+        (
+            u32::decode(&buf[..4]),
+            u32::decode(&buf[4..8]),
+            u32::decode(&buf[8..]),
+        )
     }
 }
 

@@ -305,7 +305,9 @@ mod tests {
     fn multi_run_merge() {
         // 1000 records with mem_records=64 => 16 runs => needs merge passes
         // with fan_in=4.
-        let mut input: Vec<u32> = (0..1000).map(|i| (i * 2654435761u64 % 100000) as u32).collect();
+        let mut input: Vec<u32> = (0..1000)
+            .map(|i| (i * 2654435761u64 % 100000) as u32)
+            .collect();
         let out = sort_all(input.clone(), &SortConfig::tiny());
         input.sort_unstable();
         assert_eq!(out, input);

@@ -110,7 +110,11 @@ impl fmt::Display for IoSnapshot {
         write!(
             f,
             "{} blocks read ({} B), {} blocks written ({} B), {} scans",
-            self.blocks_read, self.bytes_read, self.blocks_written, self.bytes_written, self.scans_started
+            self.blocks_read,
+            self.bytes_read,
+            self.blocks_written,
+            self.bytes_written,
+            self.scans_started
         )
     }
 }

@@ -41,7 +41,10 @@ pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
         r.read_exact(&mut byte)?;
         let b = byte[0];
         if shift >= 63 && b > 1 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflows u64"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
         }
         value |= u64::from(b & 0x7F) << shift;
         if b & 0x80 == 0 {
@@ -49,7 +52,10 @@ pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint too long"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
         }
     }
 }
@@ -137,8 +143,16 @@ mod tests {
         let mut buf = Vec::new();
         write_ascending_gaps(&mut buf, &values).unwrap();
         // First value 2 bytes, each consecutive gap (0) one byte.
-        assert!(buf.len() < values.len() + 4, "{} bytes for {} values", buf.len(), values.len());
-        assert!(buf.len() < 4 * values.len() / 3, "must beat fixed u32 encoding");
+        assert!(
+            buf.len() < values.len() + 4,
+            "{} bytes for {} values",
+            buf.len(),
+            values.len()
+        );
+        assert!(
+            buf.len() < 4 * values.len() / 3,
+            "must beat fixed u32 encoding"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ struct FailingWriter {
 impl Write for FailingWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         if self.written + buf.len() > self.capacity {
-            return Err(io::Error::new(io::ErrorKind::StorageFull, "injected disk full"));
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected disk full",
+            ));
         }
         self.written += buf.len();
         Ok(buf.len())

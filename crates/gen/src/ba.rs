@@ -67,9 +67,12 @@ mod tests {
         let g = barabasi_albert(5_000, 2, 9);
         // Preferential attachment concentrates degree on early vertices.
         assert!(g.max_degree() > 20 * (2 * g.num_edges() / g.num_vertices() as u64) as u32 / 4);
-        let early_avg: f64 =
-            (0..50u32).map(|v| f64::from(g.degree(v))).sum::<f64>() / 50.0;
-        assert!(early_avg > 3.0 * g.avg_degree(), "early {early_avg} vs avg {}", g.avg_degree());
+        let early_avg: f64 = (0..50u32).map(|v| f64::from(g.degree(v))).sum::<f64>() / 50.0;
+        assert!(
+            early_avg > 3.0 * g.avg_degree(),
+            "early {early_avg} vs avg {}",
+            g.avg_degree()
+        );
     }
 
     #[test]

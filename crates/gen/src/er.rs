@@ -14,7 +14,11 @@ use rand::{Rng, SeedableRng};
 /// met exactly.
 pub fn gnm(n: usize, m: u64, seed: u64) -> CsrGraph {
     assert!(n >= 1 || m == 0, "edges require vertices");
-    let max_edges = if n < 2 { 0 } else { n as u64 * (n as u64 - 1) / 2 };
+    let max_edges = if n < 2 {
+        0
+    } else {
+        n as u64 * (n as u64 - 1) / 2
+    };
     let m = m.min(max_edges);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(m as usize * 2);

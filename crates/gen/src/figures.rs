@@ -80,17 +80,17 @@ pub fn figure4() -> FigureExample {
         14,
         &[
             // Block around v1 (0): swap-in candidates v2, v3; conflicted v5, v6.
-            (0, 1),  // v1–v2
-            (0, 2),  // v1–v3
-            (0, 4),  // v1–v5
-            (0, 5),  // v1–v6
-            (1, 4),  // v2–v5  (conflict edge)
-            (2, 5),  // v3–v6  (conflict edge)
+            (0, 1), // v1–v2
+            (0, 2), // v1–v3
+            (0, 4), // v1–v5
+            (0, 5), // v1–v6
+            (1, 4), // v2–v5  (conflict edge)
+            (2, 5), // v3–v6  (conflict edge)
             // Block around v4 (3): swap-in candidates v7, v9; conflicted v10.
-            (3, 6),  // v4–v7
-            (3, 8),  // v4–v9
-            (3, 9),  // v4–v10
-            (6, 9),  // v7–v10 (conflict edge)
+            (3, 6), // v4–v7
+            (3, 8), // v4–v9
+            (3, 9), // v4–v10
+            (6, 9), // v7–v10 (conflict edge)
             // Stable periphery: v8, v12, v14 stay in the set.
             (7, 10),  // v8–v11
             (10, 11), // v11–v12
@@ -156,7 +156,10 @@ mod tests {
         for set in [&example.initial_is, &example.expected_is] {
             for &u in set.iter() {
                 for &v in set.iter() {
-                    assert!(u == v || !example.graph.has_edge(u, v), "edge {u}-{v} inside IS");
+                    assert!(
+                        u == v || !example.graph.has_edge(u, v),
+                        "edge {u}-{v} inside IS"
+                    );
                 }
             }
         }

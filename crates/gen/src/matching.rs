@@ -104,7 +104,11 @@ mod tests {
         let degrees: Vec<u32> = (0..2000).map(|i| 1 + (i % 5) as u32).collect();
         let (g, rep) = random_matching_graph(&degrees, &mut rng);
         // Simplification discards only a small fraction on sparse inputs.
-        assert!(rep.discard_rate() < 0.05, "discard rate {}", rep.discard_rate());
+        assert!(
+            rep.discard_rate() < 0.05,
+            "discard rate {}",
+            rep.discard_rate()
+        );
         // Realised degree never exceeds requested degree.
         for (v, &want) in degrees.iter().enumerate() {
             assert!(g.degree(v as u32) <= want);
@@ -127,7 +131,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let degrees = vec![10u32; 50]; // dense: forces loops/duplicates
         let (g, rep) = random_matching_graph(&degrees, &mut rng);
-        assert!(rep.self_loops + rep.parallel_edges > 0, "dense matching should discard");
+        assert!(
+            rep.self_loops + rep.parallel_edges > 0,
+            "dense matching should discard"
+        );
         for v in g.vertices() {
             let ns = g.neighbors(v);
             assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");

@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn discard_rate_is_small_for_sparse_graphs() {
-        let (_, rep) = Plrg::with_vertices(30_000, 2.2).seed(2).generate_with_report();
+        let (_, rep) = Plrg::with_vertices(30_000, 2.2)
+            .seed(2)
+            .generate_with_report();
         assert!(rep.discard_rate() < 0.06, "discard {}", rep.discard_rate());
     }
 

@@ -109,6 +109,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed 1")]
     fn invalid_probabilities_panic() {
-        let _ = rmat(4, 2, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 0);
+        let _ = rmat(
+            4,
+            2,
+            RmatParams {
+                a: 0.6,
+                b: 0.3,
+                c: 0.3,
+            },
+            0,
+        );
     }
 }

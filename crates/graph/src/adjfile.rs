@@ -110,13 +110,20 @@ impl AdjFile {
     }
 
     /// Opens `path` with an explicit scan block size.
-    pub fn open_with_block_size(path: &Path, stats: Arc<IoStats>, block_size: usize) -> io::Result<Self> {
+    pub fn open_with_block_size(
+        path: &Path,
+        stats: Arc<IoStats>,
+        block_size: usize,
+    ) -> io::Result<Self> {
         let file = File::open(path)?;
         let mut reader = BlockReader::with_block_size(file, Arc::clone(&stats), block_size);
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an adjacency file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an adjacency file",
+            ));
         }
         let num_vertices = codec::read_u64(&mut reader)?;
         let num_edges = codec::read_u64(&mut reader)?;
@@ -157,7 +164,8 @@ impl GraphScan for AdjFile {
     fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
         self.stats.record_scan();
         let file = File::open(&self.path)?;
-        let mut reader = BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
+        let mut reader =
+            BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
         let mut skip = [0u8; HEADER_BYTES];
         reader.read_exact(&mut skip)?;
         let mut neighbors: Vec<VertexId> = Vec::new();
@@ -202,7 +210,8 @@ mod tests {
         assert_eq!(file.num_vertices(), 3);
         assert_eq!(file.num_edges(), 2);
         let mut records = Vec::new();
-        file.scan(&mut |v, ns| records.push((v, ns.to_vec()))).unwrap();
+        file.scan(&mut |v, ns| records.push((v, ns.to_vec())))
+            .unwrap();
         assert_eq!(records, vec![(1, vec![0, 2]), (0, vec![1]), (2, vec![1])]);
     }
 
@@ -259,6 +268,9 @@ mod tests {
         let path = write_sample(&dir, &stats);
         let file = AdjFile::open(&path, stats).unwrap();
         // header + 3 record headers (8 bytes each) + 4 neighbour ids.
-        assert_eq!(file.disk_bytes().unwrap(), HEADER_BYTES as u64 + 3 * 8 + 4 * 4);
+        assert_eq!(
+            file.disk_bytes().unwrap(),
+            HEADER_BYTES as u64 + 3 * 8 + 4 * 4
+        );
     }
 }

@@ -203,7 +203,8 @@ mod tests {
         let stats = IoStats::shared();
         let file = build_adj_file(&g, &dir.file("g.adj"), stats, 256).unwrap();
         let mut records = Vec::new();
-        file.scan(&mut |v, ns| records.push((v, ns.to_vec()))).unwrap();
+        file.scan(&mut |v, ns| records.push((v, ns.to_vec())))
+            .unwrap();
         // Vertex 1's neighbours sorted by (degree, id): 0 (1), 3 (1), 2 (2).
         assert_eq!(records[1], (1, vec![0, 3, 2]));
         assert_eq!(records.len(), 5);
@@ -215,14 +216,18 @@ mod tests {
         let dir = ScratchDir::new("degsort").unwrap();
         let stats = IoStats::shared();
         let file = build_adj_file(&g, &dir.file("g.adj"), stats, 256).unwrap();
-        let sorted = degree_sort_adj_file(&file, &dir.file("g.sorted.adj"), &SortConfig::tiny(), &dir).unwrap();
+        let sorted =
+            degree_sort_adj_file(&file, &dir.file("g.sorted.adj"), &SortConfig::tiny(), &dir)
+                .unwrap();
 
         let mut order = Vec::new();
         let mut lists = Vec::new();
-        sorted.scan(&mut |v, ns| {
-            order.push(v);
-            lists.push(ns.to_vec());
-        }).unwrap();
+        sorted
+            .scan(&mut |v, ns| {
+                order.push(v);
+                lists.push(ns.to_vec());
+            })
+            .unwrap();
         // (degree, id) ascending: 0(1), 3(1), 4(1), 2(2), 1(3).
         assert_eq!(order, vec![0, 3, 4, 2, 1]);
         // Vertex 1's list by neighbour degree: 0(1), 3(1), 2(2).
@@ -236,9 +241,12 @@ mod tests {
         let dir = ScratchDir::new("degsort-iso").unwrap();
         let stats = IoStats::shared();
         let file = build_adj_file(&g, &dir.file("g.adj"), stats, 256).unwrap();
-        let sorted = degree_sort_adj_file(&file, &dir.file("s.adj"), &SortConfig::tiny(), &dir).unwrap();
+        let sorted =
+            degree_sort_adj_file(&file, &dir.file("s.adj"), &SortConfig::tiny(), &dir).unwrap();
         let mut records = Vec::new();
-        sorted.scan(&mut |v, ns| records.push((v, ns.to_vec()))).unwrap();
+        sorted
+            .scan(&mut |v, ns| records.push((v, ns.to_vec())))
+            .unwrap();
         assert_eq!(
             records,
             vec![(0, vec![]), (1, vec![]), (2, vec![3]), (3, vec![2])]
@@ -248,20 +256,21 @@ mod tests {
     #[test]
     fn degree_sort_round_trips_edges() {
         // Random-ish graph, verify the sorted file encodes the same graph.
-        let edges: Vec<(u32, u32)> = (0..200u32)
-            .map(|i| (i % 50, (i * 7 + 3) % 50))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..200u32).map(|i| (i % 50, (i * 7 + 3) % 50)).collect();
         let g = CsrGraph::from_edges(50, &edges);
         let dir = ScratchDir::new("degsort-rt").unwrap();
         let stats = IoStats::shared();
         let file = build_adj_file(&g, &dir.file("g.adj"), stats, 256).unwrap();
-        let sorted = degree_sort_adj_file(&file, &dir.file("s.adj"), &SortConfig::tiny(), &dir).unwrap();
+        let sorted =
+            degree_sort_adj_file(&file, &dir.file("s.adj"), &SortConfig::tiny(), &dir).unwrap();
         let mut rebuilt = GraphBuilder::new(50);
-        sorted.scan(&mut |v, ns| {
-            for &u in ns {
-                rebuilt.add_edge(v, u);
-            }
-        }).unwrap();
+        sorted
+            .scan(&mut |v, ns| {
+                for &u in ns {
+                    rebuilt.add_edge(v, u);
+                }
+            })
+            .unwrap();
         assert_eq!(rebuilt.build(), g);
     }
 }

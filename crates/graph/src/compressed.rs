@@ -84,7 +84,10 @@ impl CompressedAdjWriter {
         if self.written != self.expected {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("compressed file incomplete: {} of {} records", self.written, self.expected),
+                format!(
+                    "compressed file incomplete: {} of {} records",
+                    self.written, self.expected
+                ),
             ));
         }
         self.writer.finish()?;
@@ -110,7 +113,11 @@ impl CompressedAdjFile {
     }
 
     /// Opens with an explicit scan block size.
-    pub fn open_with_block_size(path: &Path, stats: Arc<IoStats>, block_size: usize) -> io::Result<Self> {
+    pub fn open_with_block_size(
+        path: &Path,
+        stats: Arc<IoStats>,
+        block_size: usize,
+    ) -> io::Result<Self> {
         let file = File::open(path)?;
         let mut reader = BlockReader::with_block_size(file, Arc::clone(&stats), block_size);
         let mut magic = [0u8; 8];
@@ -155,7 +162,8 @@ impl GraphScan for CompressedAdjFile {
     fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
         self.stats.record_scan();
         let file = File::open(&self.path)?;
-        let mut reader = BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
+        let mut reader =
+            BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         let _ = read_varint(&mut reader)?;
@@ -225,7 +233,8 @@ mod tests {
         assert_eq!(file.num_vertices(), 6);
         assert_eq!(file.num_edges(), 6);
         let mut records = Vec::new();
-        file.scan(&mut |v, ns| records.push((v, ns.to_vec()))).unwrap();
+        file.scan(&mut |v, ns| records.push((v, ns.to_vec())))
+            .unwrap();
         assert_eq!(records.len(), 6);
         // Neighbour lists id-sorted.
         assert_eq!(records[0], (0, vec![1, 2, 5]));
@@ -237,7 +246,8 @@ mod tests {
         let g = mis_gen_free_plrg(4000);
         let dir = ScratchDir::new("cadj-size").unwrap();
         let stats = IoStats::shared();
-        let raw = crate::builder::build_adj_file(&g, &dir.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
+        let raw = crate::builder::build_adj_file(&g, &dir.file("g.adj"), Arc::clone(&stats), 4096)
+            .unwrap();
         let compressed = compress_adj(&g, &dir.file("g.cadj"), stats, 4096).unwrap();
         let raw_bytes = raw.disk_bytes().unwrap();
         let comp_bytes = compressed.disk_bytes().unwrap();
@@ -256,7 +266,9 @@ mod tests {
             // Preferential-attachment flavoured: connect to a random
             // earlier vertex biased toward small ids.
             for _ in 0..2 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let t = ((s >> 33) % u64::from(v)) as u32;
                 let t = t / 2; // bias to low ids = heavy tail
                 edges.push((t, v));
@@ -308,7 +320,8 @@ mod tests {
     #[test]
     fn incomplete_writer_errors() {
         let dir = ScratchDir::new("cadj-inc").unwrap();
-        let w = CompressedAdjWriter::create(&dir.file("i.cadj"), 3, 0, IoStats::shared(), 256).unwrap();
+        let w =
+            CompressedAdjWriter::create(&dir.file("i.cadj"), 3, 0, IoStats::shared(), 256).unwrap();
         assert!(w.finish().is_err());
     }
 

@@ -136,13 +136,17 @@ impl CsrGraph {
     /// Degrees of all vertices as a vector (an `O(|V|)`-memory structure,
     /// allowed by the semi-external model).
     pub fn degrees(&self) -> Vec<u32> {
-        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).collect()
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .collect()
     }
 
     /// Size on disk of the equivalent adjacency file, in bytes
     /// (used by experiment reports; see [`crate::adjfile`]).
     pub fn adj_file_bytes(&self) -> u64 {
-        crate::adjfile::HEADER_BYTES as u64 + 8 * self.num_vertices() as u64 + 4 * self.neighbors.len() as u64
+        crate::adjfile::HEADER_BYTES as u64
+            + 8 * self.num_vertices() as u64
+            + 4 * self.neighbors.len() as u64
     }
 }
 

@@ -41,7 +41,10 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
     /// dropped here.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
         let n = self.base.num_vertices() as VertexId;
-        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
         if u == v {
             return;
         }
@@ -124,11 +127,13 @@ mod tests {
         delta.insert_edge(3, 4);
         assert_eq!(delta.num_edges(), 4);
         let mut records = Vec::new();
-        delta.scan(&mut |v, ns| {
-            let mut sorted = ns.to_vec();
-            sorted.sort_unstable();
-            records.push((v, sorted));
-        }).unwrap();
+        delta
+            .scan(&mut |v, ns| {
+                let mut sorted = ns.to_vec();
+                sorted.sort_unstable();
+                records.push((v, sorted));
+            })
+            .unwrap();
         assert_eq!(records[0], (0, vec![1, 3]));
         assert_eq!(records[3], (3, vec![0, 4]));
         assert_eq!(records[2], (2, vec![1]));
@@ -145,11 +150,13 @@ mod tests {
         // Re-inserting a base edge does not double it in the record.
         delta.insert_edge(0, 1);
         let mut deg0 = 0;
-        delta.scan(&mut |v, ns| {
-            if v == 0 {
-                deg0 = ns.len();
-            }
-        }).unwrap();
+        delta
+            .scan(&mut |v, ns| {
+                if v == 0 {
+                    deg0 = ns.len();
+                }
+            })
+            .unwrap();
         assert_eq!(deg0, 1);
     }
 

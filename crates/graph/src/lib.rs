@@ -38,8 +38,8 @@ pub mod hash;
 pub mod scan;
 
 pub use adjfile::AdjFile;
-pub use compressed::{compress_adj, CompressedAdjFile};
 pub use builder::{build_adj_file, degree_sort_adj_file, GraphBuilder};
+pub use compressed::{compress_adj, CompressedAdjFile};
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
 pub use scan::{GraphScan, OrderedCsr};

@@ -150,14 +150,22 @@ mod tests {
         // DBLP analogue: 425k vertices, average degree 4.92.
         let p = PlrgParams::fit_vertices_and_avg_degree(425_000.0, 4.92);
         assert!((p.vertices() - 425_000.0).abs() / 425_000.0 < 1e-4);
-        assert!((p.avg_degree() - 4.92).abs() < 0.05, "avg={}", p.avg_degree());
+        assert!(
+            (p.avg_degree() - 4.92).abs() < 0.05,
+            "avg={}",
+            p.avg_degree()
+        );
     }
 
     #[test]
     fn fit_high_avg_degree() {
         // Twitter analogue: avg degree 78.12.
         let p = PlrgParams::fit_vertices_and_avg_degree(100_000.0, 78.12);
-        assert!((p.avg_degree() - 78.12).abs() / 78.12 < 0.02, "avg={}", p.avg_degree());
+        assert!(
+            (p.avg_degree() - 78.12).abs() / 78.12 < 0.02,
+            "avg={}",
+            p.avg_degree()
+        );
     }
 
     #[test]

@@ -56,10 +56,7 @@ mod tests {
         // Γ(n) = (n−1)!
         let cases: [(f64, f64); 4] = [(1.0, 1.0), (2.0, 1.0), (5.0, 24.0), (10.0, 362_880.0)];
         for (x, fact) in cases {
-            assert!(
-                (ln_gamma(x) - fact.ln()).abs() < 1e-10,
-                "Γ({x}) mismatch"
-            );
+            assert!((ln_gamma(x) - fact.ln()).abs() < 1e-10, "Γ({x}) mismatch");
         }
     }
 

@@ -75,7 +75,11 @@ impl SwapModel {
     /// (exactly one IS neighbour), Eq. (13).
     pub fn a_count(&self, i: u64) -> f64 {
         let n_i = self.params.count_with_degree(i);
-        let gr_i = self.greedy_by_degree.get(i as usize).copied().unwrap_or(0.0);
+        let gr_i = self
+            .greedy_by_degree
+            .get(i as usize)
+            .copied()
+            .unwrap_or(0.0);
         let non_is = (n_i - gr_i).max(0.0);
         if non_is == 0.0 {
             return 0.0;
@@ -102,12 +106,25 @@ impl SwapModel {
             return 0.0;
         }
         let mass: f64 = (2..=i)
-            .map(|x| x as f64 * self.greedy_by_degree.get(x as usize).copied().unwrap_or(0.0))
+            .map(|x| {
+                x as f64
+                    * self
+                        .greedy_by_degree
+                        .get(x as usize)
+                        .copied()
+                        .unwrap_or(0.0)
+            })
             .sum();
         if mass <= 0.0 {
             return 0.0;
         }
-        let share = j as f64 * self.greedy_by_degree.get(j as usize).copied().unwrap_or(0.0) / mass;
+        let share = j as f64
+            * self
+                .greedy_by_degree
+                .get(j as usize)
+                .copied()
+                .unwrap_or(0.0)
+            / mass;
         self.a_count(i) * share
     }
 
@@ -132,7 +149,11 @@ impl SwapModel {
     /// Eq. (15): expected number of degree-`i` IS vertices exchanged for a
     /// (degree-`x`, degree-`y`) pair of A-vertices.
     pub fn t(&self, x: u64, y: u64, i: u64) -> f64 {
-        let bins = self.greedy_by_degree.get(i as usize).copied().unwrap_or(0.0);
+        let bins = self
+            .greedy_by_degree
+            .get(i as usize)
+            .copied()
+            .unwrap_or(0.0);
         if bins < 1.0 {
             return 0.0;
         }
@@ -169,11 +190,17 @@ impl SwapModel {
     /// Expected number of dependants (`A` vertices) per degree-`i` IS
     /// vertex: `λ_i = Σ_x |A_{x,i}| / GR_i`.
     pub fn dependants_per_bin(&self, i: u64) -> f64 {
-        let bins = self.greedy_by_degree.get(i as usize).copied().unwrap_or(0.0);
+        let bins = self
+            .greedy_by_degree
+            .get(i as usize)
+            .copied()
+            .unwrap_or(0.0);
         if bins < 1.0 {
             return 0.0;
         }
-        let m: f64 = (2..=self.d_s).map(|x| self.a_count_by_is_degree(x, i)).sum();
+        let m: f64 = (2..=self.d_s)
+            .map(|x| self.a_count_by_is_degree(x, i))
+            .sum();
         m / bins
     }
 
@@ -191,7 +218,11 @@ impl SwapModel {
     pub fn expected_swap_gain(&self) -> f64 {
         let mut gain = 0.0;
         for i in 2..=self.d_s {
-            let bins = self.greedy_by_degree.get(i as usize).copied().unwrap_or(0.0);
+            let bins = self
+                .greedy_by_degree
+                .get(i as usize)
+                .copied()
+                .unwrap_or(0.0);
             if bins < 1.0 {
                 continue;
             }

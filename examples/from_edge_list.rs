@@ -19,11 +19,16 @@ fn main() -> std::io::Result<()> {
         Some(p) => p.into(),
         None => {
             // Self-contained demo input: a small power-law graph.
-            let g = semi_mis::gen::Plrg::with_vertices(10_000, 2.2).seed(1).generate();
+            let g = semi_mis::gen::Plrg::with_vertices(10_000, 2.2)
+                .seed(1)
+                .generate();
             let path = scratch.file("demo-edges.txt");
             let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
             edgelist::write_edge_list(&g, &mut out)?;
-            println!("(no input given; wrote a demo edge list to {})", path.display());
+            println!(
+                "(no input given; wrote a demo edge list to {})",
+                path.display()
+            );
             path
         }
     };
@@ -48,6 +53,9 @@ fn main() -> std::io::Result<()> {
         two_k.result.set.len(),
         two_k.stats.num_rounds()
     );
-    println!("first members: {:?}", &two_k.result.set[..two_k.result.set.len().min(10)]);
+    println!(
+        "first members: {:?}",
+        &two_k.result.set[..two_k.result.set.len().min(10)]
+    );
     Ok(())
 }

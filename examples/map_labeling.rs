@@ -32,10 +32,30 @@ impl Rect {
 /// The four standard label positions around a point: NE, NW, SE, SW.
 fn candidates(px: i64, py: i64, w: i64, h: i64) -> [Rect; 4] {
     [
-        Rect { x0: px, y0: py, x1: px + w, y1: py + h },
-        Rect { x0: px - w, y0: py, x1: px, y1: py + h },
-        Rect { x0: px, y0: py - h, x1: px + w, y1: py },
-        Rect { x0: px - w, y0: py - h, x1: px, y1: py },
+        Rect {
+            x0: px,
+            y0: py,
+            x1: px + w,
+            y1: py + h,
+        },
+        Rect {
+            x0: px - w,
+            y0: py,
+            x1: px,
+            y1: py + h,
+        },
+        Rect {
+            x0: px,
+            y0: py - h,
+            x1: px + w,
+            y1: py,
+        },
+        Rect {
+            x0: px - w,
+            y0: py - h,
+            x1: px,
+            y1: py,
+        },
     ]
 }
 
@@ -58,7 +78,8 @@ fn main() {
 
     // Conflict edges via a uniform grid over rectangle corners.
     let cell = w.max(h) * 2;
-    let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> = std::collections::HashMap::new();
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
     for (i, r) in rects.iter().enumerate() {
         for gx in (r.x0.div_euclid(cell))..=(r.x1.div_euclid(cell)) {
             for gy in (r.y0.div_euclid(cell))..=(r.y1.div_euclid(cell)) {

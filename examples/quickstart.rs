@@ -12,7 +12,9 @@ use semi_mis::prelude::*;
 
 fn main() {
     // A P(α,β) graph with ~50k vertices and tail exponent β = 2.0.
-    let graph = semi_mis::gen::Plrg::with_vertices(50_000, 2.0).seed(42).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(50_000, 2.0)
+        .seed(42)
+        .generate();
     println!(
         "graph: {} vertices, {} edges, max degree {}",
         graph.num_vertices(),

@@ -16,13 +16,20 @@ use semi_mis::graph::{build_adj_file, degree_sort_adj_file};
 use semi_mis::prelude::*;
 
 fn main() -> std::io::Result<()> {
-    let graph = semi_mis::gen::Plrg::with_vertices(100_000, 2.1).seed(7).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(100_000, 2.1)
+        .seed(7)
+        .generate();
     let scratch = ScratchDir::new("semi-external-example")?;
     let stats = IoStats::shared();
     let block_size = 64 * 1024;
 
     // 1. Write the graph as an adjacency-list file (vertex-id order).
-    let unsorted = build_adj_file(&graph, &scratch.file("graph.adj"), Arc::clone(&stats), block_size)?;
+    let unsorted = build_adj_file(
+        &graph,
+        &scratch.file("graph.adj"),
+        Arc::clone(&stats),
+        block_size,
+    )?;
     println!(
         "adjacency file: {} ({} vertices, {} edges)",
         unsorted.disk_bytes()?,

@@ -16,7 +16,9 @@ use semi_mis::graph::DeltaGraph;
 use semi_mis::prelude::*;
 
 fn main() {
-    let base = semi_mis::gen::Plrg::with_vertices(50_000, 2.1).seed(13).generate();
+    let base = semi_mis::gen::Plrg::with_vertices(50_000, 2.1)
+        .seed(13)
+        .generate();
     let sorted = OrderedCsr::degree_sorted(&base);
     let greedy = Greedy::new().run(&sorted);
     let initial = OneKSwap::new().run(&sorted, &greedy.set).result.set;

@@ -28,7 +28,9 @@ use std::time::Instant;
 
 use semi_mis::algo::peeling::peel_and_solve;
 use semi_mis::extmem::SortConfig;
-use semi_mis::graph::{build_adj_file, compress_adj, degree_sort_adj_file, edgelist, CompressedAdjFile};
+use semi_mis::graph::{
+    build_adj_file, compress_adj, degree_sort_adj_file, edgelist, CompressedAdjFile,
+};
 use semi_mis::prelude::*;
 
 fn main() -> ExitCode {
@@ -90,13 +92,22 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Options), String> {
 }
 
 fn opt<'a>(options: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    options.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    options
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
-fn opt_parse<T: std::str::FromStr>(options: &[(String, String)], name: &str, default: T) -> Result<T, String> {
+fn opt_parse<T: std::str::FromStr>(
+    options: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     match opt(options, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
     }
 }
 
@@ -154,7 +165,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         "plrg" => {
             let n: u64 = opt_parse(&opts, "vertices", 100_000)?;
             let beta: f64 = opt_parse(&opts, "beta", 2.0)?;
-            semi_mis::gen::Plrg::with_vertices(n, beta).seed(seed).generate()
+            semi_mis::gen::Plrg::with_vertices(n, beta)
+                .seed(seed)
+                .generate()
         }
         "dataset" => {
             let name = opt(&opts, "name").ok_or("dataset needs --name")?;
@@ -218,8 +231,8 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     };
     let stats = IoStats::shared();
     let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
-    let compressed =
-        compress_adj(file.scan_ref(), Path::new(out), stats, 64 * 1024).map_err(|e| e.to_string())?;
+    let compressed = compress_adj(file.scan_ref(), Path::new(out), stats, 64 * 1024)
+        .map_err(|e| e.to_string())?;
     let before = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
     let after = compressed.disk_bytes().map_err(|e| e.to_string())?;
     println!(
@@ -302,12 +315,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "onek" => {
             let g = Greedy::new().run(scan);
             let o = OneKSwap::with_config(config).run(scan, &g.set);
-            (o.result.set, g.file_scans + o.result.file_scans, o.result.memory)
+            (
+                o.result.set,
+                g.file_scans + o.result.file_scans,
+                o.result.memory,
+            )
         }
         "twok" => {
             let g = Greedy::new().run(scan);
             let o = TwoKSwap::with_config(config).run(scan, &g.set);
-            (o.result.set, g.file_scans + o.result.file_scans, o.result.memory)
+            (
+                o.result.set,
+                g.file_scans + o.result.file_scans,
+                o.result.memory,
+            )
         }
         "peel" => {
             let (r, outcome) = peel_and_solve(scan, config);
@@ -369,7 +390,10 @@ mod tests {
 
     #[test]
     fn parse_opts_splits_positionals_and_options() {
-        let (pos, opts) = parse_opts(&strs(&["in.adj", "--algo", "twok", "out.adj", "--rounds", "3"])).unwrap();
+        let (pos, opts) = parse_opts(&strs(&[
+            "in.adj", "--algo", "twok", "out.adj", "--rounds", "3",
+        ]))
+        .unwrap();
         assert_eq!(pos, strs(&["in.adj", "out.adj"]));
         assert_eq!(opt(&opts, "algo"), Some("twok"));
         assert_eq!(opt(&opts, "rounds"), Some("3"));
@@ -409,7 +433,16 @@ mod tests {
     fn gen_and_run_round_trip() {
         let dir = ScratchDir::new("cli-e2e").unwrap();
         let out = dir.file("g.adj").display().to_string();
-        dispatch(&strs(&["gen", "er", "--vertices", "500", "--edges", "1000", &out])).unwrap();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "500",
+            "--edges",
+            "1000",
+            &out,
+        ]))
+        .unwrap();
         dispatch(&strs(&["stats", &out])).unwrap();
         dispatch(&strs(&["bound", &out])).unwrap();
         dispatch(&strs(&["run", &out, "--algo", "greedy"])).unwrap();

@@ -13,12 +13,15 @@ use semi_mis::prelude::*;
 
 #[test]
 fn compressed_file_runs_the_full_pipeline() {
-    let graph = semi_mis::gen::Plrg::with_vertices(10_000, 2.1).seed(8).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(10_000, 2.1)
+        .seed(8)
+        .generate();
     let scratch = ScratchDir::new("ext-compressed").unwrap();
     let stats = IoStats::shared();
 
     let plain = build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
-    let compressed = compress_adj(&graph, &scratch.file("g.cadj"), Arc::clone(&stats), 4096).unwrap();
+    let compressed =
+        compress_adj(&graph, &scratch.file("g.cadj"), Arc::clone(&stats), 4096).unwrap();
 
     // Identical algorithm outcomes: record order and neighbour sets match.
     let greedy_plain = Greedy::new().run(&plain);
@@ -35,11 +38,14 @@ fn compressed_file_runs_the_full_pipeline() {
 
 #[test]
 fn compression_reduces_scan_block_traffic() {
-    let graph = semi_mis::gen::Plrg::with_vertices(20_000, 2.0).seed(3).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(20_000, 2.0)
+        .seed(3)
+        .generate();
     let scratch = ScratchDir::new("ext-blocks").unwrap();
     let stats = IoStats::shared();
     let plain = build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
-    let compressed = compress_adj(&graph, &scratch.file("g.cadj"), Arc::clone(&stats), 4096).unwrap();
+    let compressed =
+        compress_adj(&graph, &scratch.file("g.cadj"), Arc::clone(&stats), 4096).unwrap();
 
     let before = stats.snapshot();
     plain.scan(&mut |_, _| {}).unwrap();
@@ -57,7 +63,9 @@ fn compression_reduces_scan_block_traffic() {
 
 #[test]
 fn vertex_cover_and_independent_set_are_complements() {
-    let graph = semi_mis::gen::datasets::by_name("Citeseerx").unwrap().generate(0.15);
+    let graph = semi_mis::gen::datasets::by_name("Citeseerx")
+        .unwrap()
+        .generate(0.15);
     let sorted = OrderedCsr::degree_sorted(&graph);
     let cover = min_vertex_cover(&sorted);
     assert!(is_vertex_cover(&graph, &cover));
@@ -68,7 +76,9 @@ fn vertex_cover_and_independent_set_are_complements() {
 
 #[test]
 fn peel_and_solve_beats_or_matches_plain_pipeline() {
-    let graph = semi_mis::gen::datasets::by_name("DBLP").unwrap().generate(0.15);
+    let graph = semi_mis::gen::datasets::by_name("DBLP")
+        .unwrap()
+        .generate(0.15);
     let sorted = OrderedCsr::degree_sorted(&graph);
     let (combined, outcome) = peel_and_solve(&sorted, SwapConfig::default());
     assert!(is_independent_set(&graph, &combined.set));
@@ -97,7 +107,9 @@ fn peeling_resists_min_degree_three_graphs() {
 fn incremental_repair_through_compressed_base() {
     // Overlay edge insertions on a *compressed on-disk* base: the whole
     // stack composes.
-    let graph = semi_mis::gen::Plrg::with_vertices(5_000, 2.2).seed(5).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(5_000, 2.2)
+        .seed(5)
+        .generate();
     let scratch = ScratchDir::new("ext-incr").unwrap();
     let stats = IoStats::shared();
     let compressed = compress_adj(&graph, &scratch.file("g.cadj"), stats, 4096).unwrap();
@@ -115,7 +127,9 @@ fn incremental_repair_through_compressed_base() {
 
 #[test]
 fn matching_bound_complements_algorithm_five() {
-    let graph = semi_mis::gen::datasets::by_name("Astroph").unwrap().generate(0.2);
+    let graph = semi_mis::gen::datasets::by_name("Astroph")
+        .unwrap()
+        .generate(0.2);
     let sorted = OrderedCsr::degree_sorted(&graph);
     let greedy = Greedy::new().run(&sorted);
     let two = TwoKSwap::new().run(&sorted, &greedy.set);

@@ -13,11 +13,14 @@ use semi_mis::prelude::*;
 /// state are identical.
 #[test]
 fn disk_and_memory_pipelines_agree() {
-    let graph = semi_mis::gen::Plrg::with_vertices(20_000, 2.1).seed(3).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(20_000, 2.1)
+        .seed(3)
+        .generate();
     let scratch = ScratchDir::new("pipeline-agree").unwrap();
     let stats = IoStats::shared();
 
-    let unsorted = build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
+    let unsorted =
+        build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
     let sorted_file = degree_sort_adj_file(
         &unsorted,
         &scratch.file("g.sorted.adj"),
@@ -44,7 +47,10 @@ fn disk_and_memory_pipelines_agree() {
     let two_disk = TwoKSwap::new().run(&sorted_file, &greedy_disk.set);
     let two_mem = TwoKSwap::new().run(&sorted_mem, &greedy_mem.set);
     assert_eq!(two_disk.result.set, two_mem.result.set);
-    assert_eq!(two_disk.stats.sc_peak_vertices, two_mem.stats.sc_peak_vertices);
+    assert_eq!(
+        two_disk.stats.sc_peak_vertices,
+        two_mem.stats.sc_peak_vertices
+    );
 }
 
 /// The degree-sorted file encodes the same graph as the source CSR.
@@ -53,7 +59,8 @@ fn degree_sort_preserves_the_graph() {
     let graph = semi_mis::gen::er::gnm(2_000, 6_000, 11);
     let scratch = ScratchDir::new("pipeline-preserve").unwrap();
     let stats = IoStats::shared();
-    let unsorted = build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
+    let unsorted =
+        build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
     let sorted = degree_sort_adj_file(
         &unsorted,
         &scratch.file("g.s.adj"),
@@ -84,7 +91,9 @@ fn degree_sort_preserves_the_graph() {
 /// and all sizes respect the Algorithm 5 bound.
 #[test]
 fn full_algorithm_suite_invariants() {
-    let graph = semi_mis::gen::datasets::by_name("DBLP").unwrap().generate(0.2);
+    let graph = semi_mis::gen::datasets::by_name("DBLP")
+        .unwrap()
+        .generate(0.2);
     let sorted = OrderedCsr::degree_sorted(&graph);
     let bound = upper_bound_scan(&sorted);
 
@@ -109,7 +118,10 @@ fn full_algorithm_suite_invariants() {
     ];
     for (name, set) in &all {
         assert!(is_independent_set(&graph, set), "{name} not independent");
-        assert!(is_maximal_independent_set(&graph, set), "{name} not maximal");
+        assert!(
+            is_maximal_independent_set(&graph, set),
+            "{name} not maximal"
+        );
         assert!(set.len() as u64 <= bound, "{name} exceeds the bound");
     }
     // Paper Table 5 orderings.
@@ -117,14 +129,19 @@ fn full_algorithm_suite_invariants() {
     assert!(two_b.result.set.len() >= baseline.set.len());
     assert!(one_g.result.set.len() >= greedy.set.len());
     assert!(two_g.result.set.len() >= greedy.set.len());
-    assert!(greedy.set.len() > baseline.set.len(), "degree sort must help on power laws");
+    assert!(
+        greedy.set.len() > baseline.set.len(),
+        "degree sort must help on power laws"
+    );
 }
 
 /// Scan accounting: greedy is exactly one scan of the file; swap rounds
 /// cost two scans each (plus init and finalise).
 #[test]
 fn io_scan_accounting() {
-    let graph = semi_mis::gen::Plrg::with_vertices(5_000, 2.3).seed(9).generate();
+    let graph = semi_mis::gen::Plrg::with_vertices(5_000, 2.3)
+        .seed(9)
+        .generate();
     let scratch = ScratchDir::new("pipeline-io").unwrap();
     let stats = IoStats::shared();
     let file = build_adj_file(&graph, &scratch.file("g.adj"), Arc::clone(&stats), 4096).unwrap();
@@ -187,5 +204,8 @@ fn exact_oracle_dominates() {
             reached += 1;
         }
     }
-    assert!(reached >= total / 2, "two-k should reach α on most sparse instances ({reached}/{total})");
+    assert!(
+        reached >= total / 2,
+        "two-k should reach α on most sparse instances ({reached}/{total})"
+    );
 }

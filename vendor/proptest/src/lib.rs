@@ -1,0 +1,406 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API used by the
+//! workspace's property tests.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the pieces `tests/properties.rs` relies on: the
+//! [`Strategy`](strategy::Strategy) trait with
+//! [`prop_map`](strategy::Strategy::prop_map) /
+//! [`prop_flat_map`](strategy::Strategy::prop_flat_map), strategies for
+//! integer ranges, tuples and [`collection::vec()`], [`arbitrary::any`],
+//! the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`, and
+//! [`test_runner::Config`] (a.k.a. `ProptestConfig`).
+//!
+//! Differences from real proptest, deliberately accepted for a hermetic
+//! build:
+//!
+//! * **no shrinking** — a failing case panics with the standard assertion
+//!   message instead of being minimised first;
+//! * **deterministic seeding** — each test's RNG is seeded from a hash of
+//!   the test function's name, so failures reproduce exactly across runs
+//!   and machines (there is no failure-persistence file);
+//! * strategies are sampled directly rather than through value trees.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test-runner configuration and the deterministic RNG behind it.
+
+    /// Configuration for a [`crate::proptest!`] block, mirroring
+    /// `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG used to drive strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (the test name), so
+        /// every test gets its own reproducible stream.
+        pub fn from_label(label: &str) -> Self {
+            // FNV-1a over the label bytes.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of type
+    /// [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no intermediate value tree: a strategy
+    /// simply produces a value from the test RNG.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds every generated value to `f` to obtain a second strategy,
+        /// then draws from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {:?}", self
+                    );
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and the [`any`] entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    /// Strategy generating unconstrained values of `T`; see [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors whose length is drawn from a range; see [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(
+                self.len.start < self.len.end,
+                "empty vec length range {:?}",
+                self.len
+            );
+            let span = (self.len.end - self.len.start) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `len`,
+    /// mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property holds for the current case (panics otherwise — this
+/// stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two expressions are unequal for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares a block of property tests, mirroring `proptest::proptest!`.
+///
+/// Each `#[test] fn name(pattern in strategy, ...) { body }` item expands
+/// to a normal `#[test]` that checks the body against `Config::cases`
+/// random cases drawn from the strategies, with an RNG seeded from the
+/// test's name (fully reproducible).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests $config; $($rest)*);
+    };
+    (@tests $config:expr; $(
+        #[test]
+        fn $name:ident($($pattern:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $pattern = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{} (deterministic seed; no shrinking)",
+                            stringify!($name), case + 1, config.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_label("bounds");
+        let strat = (2usize..60).prop_flat_map(|n| {
+            crate::collection::vec((0..n as u32, 0..n as u32), 0..4 * n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..500 {
+            let (n, pairs) = strat.generate(&mut rng);
+            assert!((2..60).contains(&n));
+            assert!(pairs.len() < 4 * n);
+            for (a, b) in pairs {
+                assert!((a as usize) < n && (b as usize) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_decorrelate_streams() {
+        let mut a = crate::test_runner::TestRng::from_label("a");
+        let mut b = crate::test_runner::TestRng::from_label("b");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_all_arguments(x in 0u32..10, mut v in crate::collection::vec(any::<bool>(), 0..5)) {
+            prop_assert!(x < 10);
+            v.push(true);
+            prop_assert!(v.len() <= 5);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_default(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+}

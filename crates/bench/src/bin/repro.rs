@@ -4,7 +4,7 @@
 //! repro <experiment>
 //!   table2 table4 table5 table6 table7 table8 table9
 //!   fig6 fig8 fig9 fig10
-//!   io cascade ablation
+//!   io pager cascade ablation
 //!   all        # everything (dataset suite computed once)
 //! ```
 //!
@@ -29,6 +29,7 @@ fn main() {
         "fig9" => fig9::run(),
         "fig10" => fig10::run(),
         "io" => io::run(),
+        "pager" => pager::run(),
         "cascade" => cascade::run(),
         "ablation" => ablation::run(),
         "bounds" => extensions::bounds(),
@@ -61,6 +62,8 @@ fn main() {
             println!();
             io::run();
             println!();
+            pager::run();
+            println!();
             cascade::run();
             println!();
             ablation::run();
@@ -73,7 +76,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|cascade|ablation|bounds|peeling|compress|all>"
+                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|cascade|ablation|bounds|peeling|compress|all>"
             );
             std::process::exit(2);
         }

@@ -16,6 +16,7 @@
 //! cargo run --release -p mis-bench --bin repro -- table9   # greedy estimation accuracy
 //! cargo run --release -p mis-bench --bin repro -- fig10    # |SC| / |V| vs β
 //! cargo run --release -p mis-bench --bin repro -- io       # semi-external I/O accounting demo
+//! cargo run --release -p mis-bench --bin repro -- pager    # scan-only vs paged swap rounds (+ BENCH_pager.json)
 //! cargo run --release -p mis-bench --bin repro -- cascade  # Figure 5 worst case, scaled
 //! cargo run --release -p mis-bench --bin repro -- ablation # SwapConfig ablations
 //! cargo run --release -p mis-bench --bin repro -- bounds   # Alg. 5 vs matching bound (extension)

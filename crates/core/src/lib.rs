@@ -45,7 +45,9 @@ pub use incremental::repair_independent_set;
 pub use onek::OneKSwap;
 pub use order::degree_order;
 pub use peeling::{peel, peel_and_solve};
-pub use result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapStats};
+pub use result::{
+    MemoryModel, MisResult, RoundStats, SwapConfig, SwapStats, DEFAULT_PAGED_THRESHOLD,
+};
 pub use tfp::TfpMaximalIs;
 pub use twok::TwoKSwap;
 pub use verify::{is_independent_set, is_maximal_independent_set};

@@ -28,11 +28,48 @@
 //! `y − 1 − x ≥ 1` where `x` counts `u`'s own A-neighbours pointing at
 //! `w` — an `O(deg u)` check with zero extra memory.
 
-use mis_graph::{GraphScan, VertexId};
+use mis_graph::{GraphScan, NeighborAccess, VertexId};
 
 use crate::result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats};
 
 pub(crate) const NONE: u32 = u32::MAX;
+
+/// Collects one round's paged-path candidates: `Some(list)` sorted into
+/// storage order when an access provider exists and at most
+/// `threshold · |V|` vertices are in state `A`, else `None` (fall back to
+/// a full scan).
+///
+/// The pre-swap pass only ever *acts* on vertices that are `A` when their
+/// record arrives, and no vertex enters `A` during the pass — so visiting
+/// exactly the round's initial `A` set, in storage order, reproduces the
+/// full scan's behaviour (including its earlier-record-wins conflict
+/// resolution) while reading only the candidates' records.
+pub(crate) fn select_paged_candidates(
+    access: Option<&dyn NeighborAccess>,
+    threshold: f64,
+    state: &[S],
+) -> Option<Vec<u32>> {
+    let access = access?;
+    if threshold <= 0.0 {
+        return None;
+    }
+    let limit = (threshold * state.len() as f64) as usize;
+    let mut cands: Vec<u32> = Vec::new();
+    for (v, &s) in state.iter().enumerate() {
+        if s == S::A {
+            if cands.len() >= limit {
+                return None;
+            }
+            cands.push(v as u32);
+        }
+    }
+    let mut keyed: Vec<(u64, u32)> = cands
+        .into_iter()
+        .map(|v| (access.record_rank(v), v))
+        .collect();
+    keyed.sort_unstable();
+    Some(keyed.into_iter().map(|(_, v)| v).collect())
+}
 
 /// Vertex states; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +112,24 @@ impl OneKSwap {
     /// Enlarges `initial` (which must be an independent set of `graph`)
     /// by one-k swaps.
     pub fn run<G: GraphScan + ?Sized>(&self, graph: &G, initial: &[VertexId]) -> SwapOutcome {
+        self.run_paged(graph, None, initial)
+    }
+
+    /// Like [`OneKSwap::run`], with a random-access provider for the
+    /// paged candidate-verification path.
+    ///
+    /// `access` must resolve the same graph in the same storage order as
+    /// `graph` (e.g. a [`mis_graph::RandomAccessGraph`] over the very
+    /// file being scanned). Rounds whose live candidate count is at most
+    /// [`SwapConfig::paged_threshold`]` · |V|` then verify candidates
+    /// through the buffer pool instead of re-scanning the whole file; the
+    /// result is identical either way.
+    pub fn run_paged<G: GraphScan + ?Sized>(
+        &self,
+        graph: &G,
+        access: Option<&dyn NeighborAccess>,
+        initial: &[VertexId],
+    ) -> SwapOutcome {
         let n = graph.num_vertices();
         let mut state = vec![S::N; n];
         let mut isn = vec![NONE; n];
@@ -126,46 +181,60 @@ impl OneKSwap {
             can_swap = false;
             let mut round = RoundStats::default();
 
-            // ---- Pre-swap scan (lines 7–14). ----
-            file_scans += 1;
-            graph
-                .scan(&mut |u, ns| {
-                    if state[u as usize] != S::A {
-                        return;
-                    }
-                    // Case (i): a neighbour already protected this round.
-                    if ns.iter().any(|&nb| state[nb as usize] == S::P) {
-                        state[u as usize] = S::C;
-                        let w = isn[u as usize] as usize;
-                        if state[w] == S::I {
-                            isn[w] = isn[w].saturating_sub(1);
-                        }
-                        return;
-                    }
+            // ---- Pre-swap pass (lines 7–14): one full scan, or paged
+            // candidate verification when few candidates are live. ----
+            let cands = select_paged_candidates(access, self.config.paged_threshold, &state);
+            let mut pre_body = |u: VertexId, ns: &[VertexId]| {
+                if state[u as usize] != S::A {
+                    return;
+                }
+                // Case (i): a neighbour already protected this round.
+                if ns.iter().any(|&nb| state[nb as usize] == S::P) {
+                    state[u as usize] = S::C;
                     let w = isn[u as usize] as usize;
-                    match state[w] {
-                        // Case (ii): a fresh 1-2 swap skeleton (u, v, w).
-                        S::I => {
-                            let y = isn[w];
-                            let x = ns
-                                .iter()
-                                .filter(|&&nb| {
-                                    state[nb as usize] == S::A && isn[nb as usize] == w as u32
-                                })
-                                .count() as u32;
-                            // Another A vertex with ISN = w, not u itself
-                            // and not adjacent to u, must exist.
-                            if y >= x + 2 {
-                                state[u as usize] = S::P;
-                                state[w] = S::R;
-                            }
-                        }
-                        // Case (iii): join a swap already in progress.
-                        S::R => state[u as usize] = S::P,
-                        _ => {}
+                    if state[w] == S::I {
+                        isn[w] = isn[w].saturating_sub(1);
                     }
-                })
-                .expect("scan failed");
+                    return;
+                }
+                let w = isn[u as usize] as usize;
+                match state[w] {
+                    // Case (ii): a fresh 1-2 swap skeleton (u, v, w).
+                    S::I => {
+                        let y = isn[w];
+                        let x = ns
+                            .iter()
+                            .filter(|&&nb| {
+                                state[nb as usize] == S::A && isn[nb as usize] == w as u32
+                            })
+                            .count() as u32;
+                        // Another A vertex with ISN = w, not u itself
+                        // and not adjacent to u, must exist.
+                        if y >= x + 2 {
+                            state[u as usize] = S::P;
+                            state[w] = S::R;
+                        }
+                    }
+                    // Case (iii): join a swap already in progress.
+                    S::R => state[u as usize] = S::P,
+                    _ => {}
+                }
+            };
+            match (access, cands) {
+                (Some(acc), Some(cands)) => {
+                    stats.paged_rounds += 1;
+                    for &u in &cands {
+                        acc.with_neighbors(u, &mut |ns| pre_body(u, ns))
+                            .expect("paged read failed");
+                    }
+                }
+                _ => {
+                    file_scans += 1;
+                    graph
+                        .scan(&mut |u, ns| pre_body(u, ns))
+                        .expect("scan failed");
+                }
+            }
 
             // ---- Swap phase (lines 15–19); in memory, no adjacency. ----
             for v in 0..n {
@@ -271,6 +340,11 @@ impl OneKSwap {
                 memory: MemoryModel {
                     state_bytes: n as u64,
                     isn_bytes: 4 * n as u64,
+                    pager_bytes: if stats.paged_rounds > 0 {
+                        access.map_or(0, |a| a.resident_bytes())
+                    } else {
+                        0
+                    },
                     ..MemoryModel::default()
                 },
             },
@@ -416,5 +490,60 @@ mod tests {
         // init + 2 per round + finalize.
         let expected = 1 + 2 * out.stats.num_rounds() as u64 + 1;
         assert_eq!(out.result.file_scans, expected);
+    }
+
+    #[test]
+    fn paged_path_matches_scan_path_exactly() {
+        for seed in 0..3 {
+            let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.0)
+                .seed(seed)
+                .generate();
+            let scan = OrderedCsr::degree_sorted(&g);
+            let greedy = Greedy::new().run(&scan);
+            let plain = OneKSwap::new().run(&scan, &greedy.set);
+            // Threshold 1.0: every round's pre-swap pass goes paged.
+            let paged = OneKSwap::with_config(SwapConfig::default().with_paged_threshold(1.0))
+                .run_paged(&scan, Some(&scan), &greedy.set);
+            assert_eq!(paged.result.set, plain.result.set, "seed {seed}");
+            assert_eq!(paged.stats.num_rounds(), plain.stats.num_rounds());
+            assert_eq!(paged.stats.paged_rounds, plain.stats.num_rounds() as u64);
+            assert_eq!(plain.stats.paged_rounds, 0);
+            // Each paged round saves exactly its pre-swap scan.
+            assert_eq!(
+                plain.result.file_scans - paged.result.file_scans,
+                paged.stats.paged_rounds
+            );
+        }
+    }
+
+    #[test]
+    fn paged_threshold_zero_never_pages() {
+        let g = mis_gen::plrg::Plrg::with_vertices(500, 2.0)
+            .seed(1)
+            .generate();
+        let scan = OrderedCsr::degree_sorted(&g);
+        let greedy = Greedy::new().run(&scan);
+        let out = OneKSwap::new().run_paged(&scan, Some(&scan), &greedy.set);
+        assert_eq!(out.stats.paged_rounds, 0);
+        assert_eq!(out.result.memory.pager_bytes, 0);
+    }
+
+    #[test]
+    fn select_paged_candidates_respects_threshold_and_order() {
+        let state = vec![S::A, S::N, S::A, S::I, S::A];
+        let g = CsrGraph::empty(5);
+        // Reverse storage order via OrderedCsr: ranks are 4,3,2,1,0.
+        let ordered = OrderedCsr::new(&g, vec![4, 3, 2, 1, 0]);
+        let access: &dyn mis_graph::NeighborAccess = &ordered;
+        // No provider or zero threshold: scan fallback.
+        assert!(select_paged_candidates(None, 1.0, &state).is_none());
+        assert!(select_paged_candidates(Some(access), 0.0, &state).is_none());
+        // Three A vertices over a 2-candidate budget (0.5 * 5): fallback.
+        assert!(select_paged_candidates(Some(access), 0.5, &state).is_none());
+        // Budget fits: candidates come back in storage (reverse-id) order.
+        assert_eq!(
+            select_paged_candidates(Some(access), 1.0, &state),
+            Some(vec![4, 2, 0])
+        );
     }
 }

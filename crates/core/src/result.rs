@@ -38,12 +38,15 @@ pub struct MemoryModel {
     /// Auxiliary structures (external priority queue budget, degree
     /// arrays, …) where applicable.
     pub aux_bytes: u64,
+    /// Buffer-pool frames plus record index held by the paged access
+    /// path, when one was supplied (zero on the scan-only path).
+    pub pager_bytes: u64,
 }
 
 impl MemoryModel {
     /// Total modelled bytes.
     pub fn total(&self) -> u64 {
-        self.state_bytes + self.isn_bytes + self.sc_peak_bytes + self.aux_bytes
+        self.state_bytes + self.isn_bytes + self.sc_peak_bytes + self.aux_bytes + self.pager_bytes
     }
 }
 
@@ -67,7 +70,27 @@ pub struct SwapConfig {
     /// Append one relaxed 0↔1 pass at the end so the returned set is
     /// always maximal (never removes vertices; costs one extra scan).
     pub finalize_maximal: bool,
+    /// Candidate-fraction ceiling for the paged access path: a round's
+    /// pre-swap pass goes through the buffer pool instead of a full file
+    /// scan when the algorithm was given a
+    /// [`mis_graph::NeighborAccess`] provider **and** the live candidate
+    /// count is at most `paged_threshold · |V|`. `0.0` (the default)
+    /// keeps every pass a sequential scan, which is the paper's verbatim
+    /// access model.
+    pub paged_threshold: f64,
 }
+
+/// Default candidate fraction below which a round switches to paged
+/// candidate verification (see [`SwapConfig::paged_threshold`]).
+///
+/// Because the paged pass visits candidates in storage order, its page
+/// misses are monotone over the file and never exceed one scan's block
+/// transfers — the threshold only bounds the CPU overhead of per-record
+/// pool lookups. After a Greedy start the live candidate set is typically
+/// 20–30% of `|V|`, so 0.3 lets every post-Greedy round page while
+/// keeping genuinely dense rounds (e.g. from a Baseline start) on the
+/// cheaper streaming path.
+pub const DEFAULT_PAGED_THRESHOLD: f64 = 0.3;
 
 impl Default for SwapConfig {
     fn default() -> Self {
@@ -75,6 +98,7 @@ impl Default for SwapConfig {
             max_rounds: None,
             repromote_n: true,
             finalize_maximal: true,
+            paged_threshold: 0.0,
         }
     }
 }
@@ -95,7 +119,23 @@ impl SwapConfig {
             max_rounds: None,
             repromote_n: false,
             finalize_maximal: false,
+            paged_threshold: 0.0,
         }
+    }
+
+    /// Default configuration with the paged access path enabled at the
+    /// default candidate-fraction threshold.
+    pub fn paged() -> Self {
+        Self {
+            paged_threshold: DEFAULT_PAGED_THRESHOLD,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the paged-path candidate-fraction threshold.
+    pub fn with_paged_threshold(mut self, threshold: f64) -> Self {
+        self.paged_threshold = threshold;
+        self
     }
 }
 
@@ -130,6 +170,9 @@ pub struct SwapStats {
     pub final_size: u64,
     /// Peak SC vertex count over all rounds (two-k-swap only).
     pub sc_peak_vertices: u64,
+    /// Rounds whose pre-swap pass used the paged access path instead of
+    /// a full sequential scan.
+    pub paged_rounds: u64,
 }
 
 impl SwapStats {
@@ -175,8 +218,9 @@ mod tests {
             isn_bytes: 40,
             sc_peak_bytes: 5,
             aux_bytes: 1,
+            pager_bytes: 2,
         };
-        assert_eq!(m.total(), 56);
+        assert_eq!(m.total(), 58);
     }
 
     #[test]
@@ -227,5 +271,14 @@ mod tests {
         assert!(!v.repromote_n);
         assert!(!v.finalize_maximal);
         assert_eq!(SwapConfig::early_stop(3).max_rounds, Some(3));
+        // The scan-only access model is the default.
+        assert_eq!(c.paged_threshold, 0.0);
+        assert_eq!(SwapConfig::paged().paged_threshold, DEFAULT_PAGED_THRESHOLD);
+        assert_eq!(
+            SwapConfig::default()
+                .with_paged_threshold(0.5)
+                .paged_threshold,
+            0.5
+        );
     }
 }

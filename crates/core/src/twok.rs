@@ -25,9 +25,9 @@
 //! documents this deviation.
 
 use mis_graph::hash::{FxHashMap, FxHashSet};
-use mis_graph::{GraphScan, VertexId};
+use mis_graph::{GraphScan, NeighborAccess, VertexId};
 
-use crate::onek::{finalize_maximal, NONE, S};
+use crate::onek::{finalize_maximal, select_paged_candidates, NONE, S};
 use crate::result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats};
 
 /// Cap on stored candidate pairs per `(w1, w2)` entry. One valid pair is
@@ -105,6 +105,23 @@ impl TwoKSwap {
     /// Enlarges `initial` (an independent set of `graph`) by two-k and
     /// one-k swaps.
     pub fn run<G: GraphScan + ?Sized>(&self, graph: &G, initial: &[VertexId]) -> SwapOutcome {
+        self.run_paged(graph, None, initial)
+    }
+
+    /// Like [`TwoKSwap::run`], with a random-access provider for the
+    /// paged candidate-verification path.
+    ///
+    /// `access` must resolve the same graph in the same storage order as
+    /// `graph`. Rounds with at most
+    /// [`crate::SwapConfig::paged_threshold`]` · |V|` live candidates
+    /// verify them through the buffer pool instead of re-scanning the
+    /// whole file; the result is identical either way.
+    pub fn run_paged<G: GraphScan + ?Sized>(
+        &self,
+        graph: &G,
+        access: Option<&dyn NeighborAccess>,
+        initial: &[VertexId],
+    ) -> SwapOutcome {
         let n = graph.num_vertices();
         let mut run = Run {
             state: vec![S::N; n],
@@ -157,7 +174,10 @@ impl TwoKSwap {
             let snapshot: Option<(Vec<S>, Vec<u32>, Vec<u32>)> =
                 Some((run.state.clone(), run.isn1.clone(), run.isn2.clone()));
 
-            // ---- Pre-swap scan (Algorithm 4 per A vertex). ----
+            // ---- Pre-swap pass (Algorithm 4 per A vertex): one full
+            // scan, or paged candidate verification when few candidates
+            // are live. ----
+            let cands = select_paged_candidates(access, self.config.paged_threshold, &run.state);
             let mut sc: FxHashMap<(u32, u32), ScEntry> = FxHashMap::default();
             let mut half_index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
             let mut keys_by_w: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
@@ -165,134 +185,138 @@ impl TwoKSwap {
             let mut sc_pairs: u64 = 0;
             let mut nbr_set: FxHashSet<u32> = FxHashSet::default();
 
-            file_scans += 1;
             let rs = &mut run;
-            graph
-                .scan(&mut |u, ns| {
-                    if rs.state[u as usize] != S::A {
-                        return;
-                    }
-                    // Case (i): conflict with an already-protected vertex.
-                    if ns.iter().any(|&nb| rs.state[nb as usize] == S::P) {
-                        to_conflicted(rs, u);
-                        return;
-                    }
-                    let w1 = rs.isn1[u as usize];
-                    let w2 = rs.isn2[u as usize];
-                    nbr_set.clear();
-                    nbr_set.extend(ns.iter().copied());
+            let mut pre_body = |u: VertexId, ns: &[VertexId]| {
+                if rs.state[u as usize] != S::A {
+                    return;
+                }
+                // Case (i): conflict with an already-protected vertex.
+                if ns.iter().any(|&nb| rs.state[nb as usize] == S::P) {
+                    to_conflicted(rs, u);
+                    return;
+                }
+                let w1 = rs.isn1[u as usize];
+                let w2 = rs.isn2[u as usize];
+                nbr_set.clear();
+                nbr_set.extend(ns.iter().copied());
 
-                    if w2 == NONE {
-                        // Singleton A vertex (one IS neighbour w1).
-                        match rs.state[w1 as usize] {
-                            S::R => {
-                                // Case (iv): all IS neighbours retreating.
+                if w2 == NONE {
+                    // Singleton A vertex (one IS neighbour w1).
+                    match rs.state[w1 as usize] {
+                        S::R => {
+                            // Case (iv): all IS neighbours retreating.
+                            rs.state[u as usize] = S::P;
+                        }
+                        S::I => {
+                            // 1-2 skeleton via the ISN count trick.
+                            let y = rs.isn1[w1 as usize];
+                            let x = ns
+                                .iter()
+                                .filter(|&&nb| rs.is_singleton_a(nb) && rs.isn1[nb as usize] == w1)
+                                .count() as u32;
+                            if y >= x + 2 {
                                 rs.state[u as usize] = S::P;
-                            }
-                            S::I => {
-                                // 1-2 skeleton via the ISN count trick.
-                                let y = rs.isn1[w1 as usize];
-                                let x = ns
-                                    .iter()
-                                    .filter(|&&nb| {
-                                        rs.is_singleton_a(nb) && rs.isn1[nb as usize] == w1
-                                    })
-                                    .count() as u32;
-                                if y >= x + 2 {
-                                    rs.state[u as usize] = S::P;
-                                    rs.state[w1 as usize] = S::R;
-                                    return;
-                                }
-                                // 2-3 skeleton as the third vertex of any
-                                // key containing w1.
-                                if let Some(keys) = keys_by_w.get(&w1) {
-                                    for &key in keys {
-                                        if rs.state[key.0 as usize] != S::I
-                                            || rs.state[key.1 as usize] != S::I
-                                        {
-                                            continue;
-                                        }
-                                        if let Some(entry) = sc.get(&key) {
-                                            if fire_if_pair_found(rs, entry, u, &nbr_set, key) {
-                                                return;
-                                            }
-                                        }
-                                    }
-                                }
-                                // Pair up with scanned fulls of keys
-                                // containing w1, then register as a half.
-                                if let Some(keys) = keys_by_w.get(&w1) {
-                                    for key in keys.clone() {
-                                        if rs.state[key.0 as usize] != S::I
-                                            || rs.state[key.1 as usize] != S::I
-                                        {
-                                            continue;
-                                        }
-                                        if let Some(entry) = sc.get_mut(&key) {
-                                            add_pairs_with_fulls(
-                                                rs,
-                                                entry,
-                                                u,
-                                                &nbr_set,
-                                                &mut sc_pairs,
-                                            );
-                                        }
-                                    }
-                                }
-                                half_index.entry(w1).or_default().push(u);
-                                sc_vertices += 1;
-                            }
-                            _ => {}
-                        }
-                    } else {
-                        // Full A vertex: ISN = {w1, w2}.
-                        let s1 = rs.state[w1 as usize];
-                        let s2 = rs.state[w2 as usize];
-                        if s1 == S::R && s2 == S::R {
-                            rs.state[u as usize] = S::P; // case (iv)
-                            return;
-                        }
-                        if s1 != S::I || s2 != S::I {
-                            return; // one neighbour stays: u cannot move yet
-                        }
-                        let key = (w1.min(w2), w1.max(w2));
-                        if let Some(entry) = sc.get(&key) {
-                            if fire_if_pair_found(rs, entry, u, &nbr_set, key) {
+                                rs.state[w1 as usize] = S::R;
                                 return;
                             }
-                        }
-                        // Register u as a full and pair it with previously
-                        // scanned compatible candidates.
-                        let fresh = !sc.contains_key(&key);
-                        let entry = sc.entry(key).or_default();
-                        if fresh {
-                            keys_by_w.entry(key.0).or_default().push(key);
-                            keys_by_w.entry(key.1).or_default().push(key);
-                        }
-                        // Halves of w1 and w2 …
-                        for w in [key.0, key.1] {
-                            if let Some(halves) = half_index.get(&w) {
-                                for &h in halves {
-                                    if entry.pairs.len() >= PAIR_CAP {
-                                        break;
+                            // 2-3 skeleton as the third vertex of any
+                            // key containing w1.
+                            if let Some(keys) = keys_by_w.get(&w1) {
+                                for &key in keys {
+                                    if rs.state[key.0 as usize] != S::I
+                                        || rs.state[key.1 as usize] != S::I
+                                    {
+                                        continue;
                                     }
-                                    if rs.is_singleton_a(h) && !nbr_set.contains(&h) {
-                                        entry.pairs.push((u, h));
-                                        sc_pairs += 1;
-                                        rs.mark_sc(u);
-                                        rs.mark_sc(h);
+                                    if let Some(entry) = sc.get(&key) {
+                                        if fire_if_pair_found(rs, entry, u, &nbr_set, key) {
+                                            return;
+                                        }
                                     }
                                 }
                             }
+                            // Pair up with scanned fulls of keys
+                            // containing w1, then register as a half.
+                            if let Some(keys) = keys_by_w.get(&w1) {
+                                for key in keys.clone() {
+                                    if rs.state[key.0 as usize] != S::I
+                                        || rs.state[key.1 as usize] != S::I
+                                    {
+                                        continue;
+                                    }
+                                    if let Some(entry) = sc.get_mut(&key) {
+                                        add_pairs_with_fulls(rs, entry, u, &nbr_set, &mut sc_pairs);
+                                    }
+                                }
+                            }
+                            half_index.entry(w1).or_default().push(u);
+                            sc_vertices += 1;
                         }
-                        // … and other fulls of the same key.
-                        add_pairs_with_fulls(rs, entry, u, &nbr_set, &mut sc_pairs);
-                        entry.fulls.push(u);
-                        rs.mark_sc(u);
-                        sc_vertices += 1;
+                        _ => {}
                     }
-                })
-                .expect("scan failed");
+                } else {
+                    // Full A vertex: ISN = {w1, w2}.
+                    let s1 = rs.state[w1 as usize];
+                    let s2 = rs.state[w2 as usize];
+                    if s1 == S::R && s2 == S::R {
+                        rs.state[u as usize] = S::P; // case (iv)
+                        return;
+                    }
+                    if s1 != S::I || s2 != S::I {
+                        return; // one neighbour stays: u cannot move yet
+                    }
+                    let key = (w1.min(w2), w1.max(w2));
+                    if let Some(entry) = sc.get(&key) {
+                        if fire_if_pair_found(rs, entry, u, &nbr_set, key) {
+                            return;
+                        }
+                    }
+                    // Register u as a full and pair it with previously
+                    // scanned compatible candidates.
+                    let fresh = !sc.contains_key(&key);
+                    let entry = sc.entry(key).or_default();
+                    if fresh {
+                        keys_by_w.entry(key.0).or_default().push(key);
+                        keys_by_w.entry(key.1).or_default().push(key);
+                    }
+                    // Halves of w1 and w2 …
+                    for w in [key.0, key.1] {
+                        if let Some(halves) = half_index.get(&w) {
+                            for &h in halves {
+                                if entry.pairs.len() >= PAIR_CAP {
+                                    break;
+                                }
+                                if rs.is_singleton_a(h) && !nbr_set.contains(&h) {
+                                    entry.pairs.push((u, h));
+                                    sc_pairs += 1;
+                                    rs.mark_sc(u);
+                                    rs.mark_sc(h);
+                                }
+                            }
+                        }
+                    }
+                    // … and other fulls of the same key.
+                    add_pairs_with_fulls(rs, entry, u, &nbr_set, &mut sc_pairs);
+                    entry.fulls.push(u);
+                    rs.mark_sc(u);
+                    sc_vertices += 1;
+                }
+            };
+            match (access, cands) {
+                (Some(acc), Some(cands)) => {
+                    stats.paged_rounds += 1;
+                    for &u in &cands {
+                        acc.with_neighbors(u, &mut |ns| pre_body(u, ns))
+                            .expect("paged read failed");
+                    }
+                }
+                _ => {
+                    file_scans += 1;
+                    graph
+                        .scan(&mut |u, ns| pre_body(u, ns))
+                        .expect("scan failed");
+                }
+            }
 
             round.sc_peak_vertices = run.sc_distinct;
             stats.sc_peak_vertices = stats.sc_peak_vertices.max(run.sc_distinct);
@@ -468,6 +492,11 @@ impl TwoKSwap {
                     isn_bytes: 8 * n as u64,
                     sc_peak_bytes,
                     aux_bytes: n as u64, // nomination flags
+                    pager_bytes: if stats.paged_rounds > 0 {
+                        access.map_or(0, |a| a.resident_bytes())
+                    } else {
+                        0
+                    },
                 },
             },
             stats,
@@ -735,6 +764,28 @@ mod tests {
         );
         assert!(is_maximal_independent_set(&g, &out.result.set));
         assert!(out.result.set.len() >= greedy.set.len());
+    }
+
+    #[test]
+    fn paged_path_matches_scan_path_exactly() {
+        for seed in 0..3 {
+            let g = mis_gen::plrg::Plrg::with_vertices(2_000, 2.1)
+                .seed(seed)
+                .generate();
+            let scan = OrderedCsr::degree_sorted(&g);
+            let greedy = Greedy::new().run(&scan);
+            let plain = TwoKSwap::new().run(&scan, &greedy.set);
+            let paged = TwoKSwap::with_config(SwapConfig::default().with_paged_threshold(1.0))
+                .run_paged(&scan, Some(&scan), &greedy.set);
+            assert_eq!(paged.result.set, plain.result.set, "seed {seed}");
+            assert_eq!(paged.stats.num_rounds(), plain.stats.num_rounds());
+            assert!(paged.stats.paged_rounds >= plain.stats.num_rounds() as u64);
+            assert_eq!(
+                plain.result.file_scans - paged.result.file_scans,
+                paged.stats.paged_rounds
+            );
+            assert!(paged.result.memory.pager_bytes == 0); // in-memory access path
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`pq::ExternalPq`] — an external priority queue (in-memory heap with
 //!   sorted overflow runs), the data structure behind Zeh's external
 //!   maximal-independent-set algorithm that the paper benchmarks as `STXXL`;
+//! * [`pager::BufferPool`] — a buffer-pool page cache (frame table,
+//!   pin/unpin, CLOCK or LRU eviction) over a seekable source, for the
+//!   random-access reads that sequential scans cannot serve cheaply;
 //! * [`ScratchDir`] — self-cleaning scratch space for spill files.
 //!
 //! Everything here is deliberately dependency-free: the file formats are
@@ -32,6 +35,7 @@
 
 pub mod block;
 pub mod codec;
+pub mod pager;
 pub mod pq;
 pub mod record;
 pub mod scratch;
@@ -40,6 +44,7 @@ pub mod stats;
 pub mod varint;
 
 pub use block::{BlockReader, BlockWriter, DEFAULT_BLOCK_SIZE};
+pub use pager::{BufferPool, FilePageSource, PageSource, PagerConfig, PolicyKind};
 pub use pq::ExternalPq;
 pub use record::Record;
 pub use scratch::ScratchDir;

@@ -1,0 +1,114 @@
+//! Random-access page sources behind the buffer pool.
+//!
+//! A [`PageSource`] is the pool's view of the disk: a byte array of known
+//! length that can be read at arbitrary offsets. The pool itself decides
+//! *when* to read (on a miss) and accounts every fill as one block
+//! transfer; sources do no accounting of their own.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// A length-bounded byte store readable at arbitrary offsets.
+///
+/// Implementors only need positioned reads; the buffer pool never writes
+/// (the adjacency files it serves are immutable once built).
+pub trait PageSource {
+    /// Total length of the source in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads up to `buf.len()` bytes starting at `offset`, returning the
+    /// number of bytes read (short only at end of source).
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+}
+
+/// Adapts any `Read + Seek` stream into a [`PageSource`].
+///
+/// The length is captured once at construction; the sources the pool
+/// serves (adjacency files) are immutable, so this never goes stale.
+#[derive(Debug)]
+pub struct SeekSource<R> {
+    inner: R,
+    len: u64,
+}
+
+impl<R: Read + Seek> SeekSource<R> {
+    /// Wraps `inner`, measuring its length with one seek to the end.
+    pub fn new(mut inner: R) -> io::Result<Self> {
+        let len = inner.seek(SeekFrom::End(0))?;
+        Ok(Self { inner, len })
+    }
+
+    /// Consumes the source, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read + Seek> PageSource for SeekSource<R> {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        if offset >= self.len {
+            return Ok(0);
+        }
+        self.inner.seek(SeekFrom::Start(offset))?;
+        let want = buf.len().min((self.len - offset) as usize);
+        let mut filled = 0;
+        while filled < want {
+            match self.inner.read(&mut buf[filled..want]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(filled)
+    }
+}
+
+/// A [`PageSource`] over a file on disk — the production source.
+pub type FilePageSource = SeekSource<File>;
+
+/// Opens `path` read-only as a page source.
+pub fn open_file_source(path: &Path) -> io::Result<FilePageSource> {
+    SeekSource::new(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn seek_source_reads_at_offsets() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let mut src = SeekSource::new(Cursor::new(data)).unwrap();
+        assert_eq!(src.len(), 200);
+        assert!(!src.is_empty());
+        let mut buf = [0u8; 10];
+        assert_eq!(src.read_at(50, &mut buf).unwrap(), 10);
+        assert_eq!(buf[0], 50);
+        assert_eq!(buf[9], 59);
+        // Short read at the end, empty past the end.
+        assert_eq!(src.read_at(195, &mut buf).unwrap(), 5);
+        assert_eq!(buf[..5], [195, 196, 197, 198, 199]);
+        assert_eq!(src.read_at(200, &mut buf).unwrap(), 0);
+        assert_eq!(src.read_at(1000, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_source() {
+        let mut src = SeekSource::new(Cursor::new(Vec::<u8>::new())).unwrap();
+        assert!(src.is_empty());
+        let mut buf = [0u8; 4];
+        assert_eq!(src.read_at(0, &mut buf).unwrap(), 0);
+    }
+}

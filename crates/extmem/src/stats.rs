@@ -22,6 +22,9 @@ pub struct IoStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     scans_started: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl IoStats {
@@ -51,6 +54,27 @@ impl IoStats {
         self.scans_started.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one buffer-pool page request served from a resident frame.
+    ///
+    /// A hit costs no block transfer; the hit/miss split is how the pager
+    /// relates to the paper's cost model — only misses turn into the block
+    /// transfers that `scan(|V|+|E|)` counts.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one buffer-pool page request that had to go to the source
+    /// (the subsequent page fill is also counted via
+    /// [`IoStats::record_block_read`]).
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one buffer-pool frame eviction.
+    pub fn record_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -59,6 +83,9 @@ impl IoStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             scans_started: self.scans_started.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -69,6 +96,9 @@ impl IoStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.scans_started.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -85,12 +115,29 @@ pub struct IoSnapshot {
     pub bytes_written: u64,
     /// Number of sequential scans started (see [`IoStats::record_scan`]).
     pub scans_started: u64,
+    /// Buffer-pool page requests served from a resident frame.
+    pub cache_hits: u64,
+    /// Buffer-pool page requests that went to the backing source.
+    pub cache_misses: u64,
+    /// Buffer-pool frames evicted to make room.
+    pub cache_evictions: u64,
 }
 
 impl IoSnapshot {
     /// Total block transfers in either direction.
     pub fn total_blocks(&self) -> u64 {
         self.blocks_read + self.blocks_written
+    }
+
+    /// Buffer-pool hit rate in `[0, 1]`; `0.0` when no requests were
+    /// made (a cache that served nothing gets no credit).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 
     /// Counter-wise difference `self - earlier`, saturating at zero.
@@ -101,6 +148,9 @@ impl IoSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             scans_started: self.scans_started.saturating_sub(earlier.scans_started),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 }
@@ -115,7 +165,18 @@ impl fmt::Display for IoSnapshot {
             self.blocks_written,
             self.bytes_written,
             self.scans_started
-        )
+        )?;
+        if self.cache_hits + self.cache_misses > 0 {
+            write!(
+                f,
+                ", cache {}/{} hits ({:.1}%), {} evictions",
+                self.cache_hits,
+                self.cache_hits + self.cache_misses,
+                100.0 * self.cache_hit_rate(),
+                self.cache_evictions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -168,5 +229,27 @@ mod tests {
         stats.record_block_read(8);
         let text = stats.snapshot().to_string();
         assert!(text.contains("1 blocks read"));
+        // No cache traffic: the cache section is omitted entirely.
+        assert!(!text.contains("cache"));
+    }
+
+    #[test]
+    fn cache_counters_and_hit_rate() {
+        let stats = IoStats::shared();
+        assert_eq!(stats.snapshot().cache_hit_rate(), 0.0);
+        stats.record_cache_hit();
+        stats.record_cache_hit();
+        stats.record_cache_hit();
+        stats.record_cache_miss();
+        stats.record_cache_eviction();
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_evictions, 1);
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let text = snap.to_string();
+        assert!(text.contains("cache 3/4 hits (75.0%), 1 evictions"));
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
     }
 }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use mis_extmem::{codec, BlockReader, BlockWriter, IoStats, DEFAULT_BLOCK_SIZE};
 
+use crate::raccess::RecordIndex;
 use crate::scan::GraphScan;
 use crate::VertexId;
 
@@ -35,12 +36,23 @@ const MAGIC: &[u8; 8] = b"MISADJ01";
 pub const HEADER_BYTES: usize = 8 + 8 + 8;
 
 /// Streaming writer for adjacency files.
+///
+/// [`AdjFileWriter::create_indexed`] additionally tracks each record's
+/// byte offset as it goes, so the random-access [`RecordIndex`] comes for
+/// free at [`AdjFileWriter::finish_indexed`] instead of costing a rebuild
+/// scan. The plain [`AdjFileWriter::create`] skips the `8|V|`-byte
+/// offsets array — writers that never want an index stay at the old
+/// memory footprint.
 #[derive(Debug)]
 pub struct AdjFileWriter {
     writer: BlockWriter<File>,
     expected_vertices: u64,
     written: u64,
     scratch: Vec<u8>,
+    /// `Some` only for indexed writers: offsets[v] = byte offset of v's
+    /// record (u64::MAX until written).
+    offsets: Option<Vec<u64>>,
+    cursor: u64,
 }
 
 impl AdjFileWriter {
@@ -53,6 +65,29 @@ impl AdjFileWriter {
         stats: Arc<IoStats>,
         block_size: usize,
     ) -> io::Result<Self> {
+        Self::create_inner(path, num_vertices, num_edges, stats, block_size, false)
+    }
+
+    /// Like [`AdjFileWriter::create`], but also tracks per-vertex record
+    /// offsets (`8|V|` extra bytes) for [`AdjFileWriter::finish_indexed`].
+    pub fn create_indexed(
+        path: &Path,
+        num_vertices: u64,
+        num_edges: u64,
+        stats: Arc<IoStats>,
+        block_size: usize,
+    ) -> io::Result<Self> {
+        Self::create_inner(path, num_vertices, num_edges, stats, block_size, true)
+    }
+
+    fn create_inner(
+        path: &Path,
+        num_vertices: u64,
+        num_edges: u64,
+        stats: Arc<IoStats>,
+        block_size: usize,
+        indexed: bool,
+    ) -> io::Result<Self> {
         let file = File::create(path)?;
         let mut writer = BlockWriter::with_block_size(file, stats, block_size);
         writer.write_all(MAGIC)?;
@@ -63,20 +98,29 @@ impl AdjFileWriter {
             expected_vertices: num_vertices,
             written: 0,
             scratch: Vec::new(),
+            offsets: indexed.then(|| vec![u64::MAX; num_vertices as usize]),
+            cursor: HEADER_BYTES as u64,
         })
     }
 
     /// Appends one adjacency record.
     pub fn write_record(&mut self, vertex: VertexId, neighbors: &[VertexId]) -> io::Result<()> {
+        if let Some(slot) = self
+            .offsets
+            .as_mut()
+            .and_then(|o| o.get_mut(vertex as usize))
+        {
+            *slot = self.cursor;
+        }
         codec::write_u32(&mut self.writer, vertex)?;
         codec::write_u32(&mut self.writer, neighbors.len() as u32)?;
         codec::write_u32_slice(&mut self.writer, neighbors, &mut self.scratch)?;
         self.written += 1;
+        self.cursor += 8 + 4 * neighbors.len() as u64;
         Ok(())
     }
 
-    /// Flushes and validates that exactly `|V|` records were written.
-    pub fn finish(self) -> io::Result<()> {
+    fn check_complete(&self) -> io::Result<()> {
         if self.written != self.expected_vertices {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -86,8 +130,39 @@ impl AdjFileWriter {
                 ),
             ));
         }
+        Ok(())
+    }
+
+    /// Flushes and validates that exactly `|V|` records were written.
+    pub fn finish(self) -> io::Result<()> {
+        self.check_complete()?;
         self.writer.finish()?;
         Ok(())
+    }
+
+    /// Like [`AdjFileWriter::finish`], but also returns the per-vertex
+    /// record offsets accumulated during the write. Requires
+    /// [`AdjFileWriter::create_indexed`].
+    ///
+    /// Fails if any vertex in `0..|V|` never received a record (possible
+    /// even with a correct record *count*, via duplicate or out-of-range
+    /// vertex ids) — such an index would misdirect every random access.
+    pub fn finish_indexed(self) -> io::Result<RecordIndex> {
+        self.check_complete()?;
+        let offsets = self.offsets.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "writer was not created with create_indexed",
+            )
+        })?;
+        if let Some(missing) = offsets.iter().position(|&o| o == u64::MAX) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("no record was written for vertex {missing}"),
+            ));
+        }
+        self.writer.finish()?;
+        Ok(RecordIndex::from_offsets(offsets))
     }
 }
 

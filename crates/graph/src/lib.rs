@@ -22,6 +22,10 @@
 //! * [`builder`] — semi-external construction: external sort of the edge
 //!   set, degree computation, and the degree-sort preprocessing of
 //!   Algorithm 1;
+//! * [`raccess`] — the random-access side: a per-vertex [`RecordIndex`]
+//!   and [`RandomAccessGraph`], adjacency reads served through
+//!   `mis_extmem`'s buffer-pool page cache for the swap algorithms' paged
+//!   candidate-verification path;
 //! * [`edgelist`] — text edge-list parsing (SNAP-style `u v` lines);
 //! * [`hash`] — a small Fx-style hasher for hot `u32`-keyed maps.
 
@@ -35,6 +39,7 @@ pub mod csr;
 pub mod delta;
 pub mod edgelist;
 pub mod hash;
+pub mod raccess;
 pub mod scan;
 
 pub use adjfile::AdjFile;
@@ -42,6 +47,7 @@ pub use builder::{build_adj_file, degree_sort_adj_file, GraphBuilder};
 pub use compressed::{compress_adj, CompressedAdjFile};
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
+pub use raccess::{NeighborAccess, RandomAccessGraph, RecordIndex};
 pub use scan::{GraphScan, OrderedCsr};
 
 /// Vertex identifier. Graphs with up to `u32::MAX` vertices are supported;

@@ -16,6 +16,7 @@
 use std::io;
 
 use crate::csr::CsrGraph;
+use crate::raccess::NeighborAccess;
 use crate::VertexId;
 
 /// A graph that can be scanned sequentially, record by record.
@@ -72,6 +73,8 @@ impl GraphScan for CsrGraph {
 pub struct OrderedCsr<'a> {
     graph: &'a CsrGraph,
     order: Vec<VertexId>,
+    /// Inverse permutation: `rank[v]` = position of `v` in `order`.
+    rank: Vec<u32>,
 }
 
 impl<'a> OrderedCsr<'a> {
@@ -88,7 +91,11 @@ impl<'a> OrderedCsr<'a> {
                 seen[v as usize] = true;
             }
         }
-        Self { graph, order }
+        let mut rank = vec![0u32; order.len()];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+        Self { graph, order, rank }
     }
 
     /// Wraps `graph` in ascending-degree order (ties broken by id), the
@@ -96,7 +103,7 @@ impl<'a> OrderedCsr<'a> {
     pub fn degree_sorted(graph: &'a CsrGraph) -> Self {
         let mut order: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
         order.sort_by_key(|&v| (graph.degree(v), v));
-        Self { graph, order }
+        Self::new(graph, order)
     }
 
     /// The underlying graph.
@@ -107,6 +114,37 @@ impl<'a> OrderedCsr<'a> {
     /// The scan order.
     pub fn order(&self) -> &[VertexId] {
         &self.order
+    }
+}
+
+impl NeighborAccess for CsrGraph {
+    fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) -> io::Result<()> {
+        f(self.neighbors(v));
+        Ok(())
+    }
+
+    fn record_rank(&self, v: VertexId) -> u64 {
+        // CSR storage order is vertex-id order.
+        u64::from(v)
+    }
+
+    fn access_storage(&self) -> &'static str {
+        "csr"
+    }
+}
+
+impl NeighborAccess for OrderedCsr<'_> {
+    fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) -> io::Result<()> {
+        f(self.graph.neighbors(v));
+        Ok(())
+    }
+
+    fn record_rank(&self, v: VertexId) -> u64 {
+        u64::from(self.rank[v as usize])
+    }
+
+    fn access_storage(&self) -> &'static str {
+        "csr-ordered"
     }
 }
 

@@ -12,13 +12,22 @@
 //! mis stats    <graph>                   size / degree summary
 //! mis bound    <graph>                   Algorithm 5 + matching upper bounds
 //! mis run      <graph> [--algo A] [--rounds N] [--quiet]
+//!              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
 //!              A ∈ greedy | baseline | onek | twok | peel | tfp | dynamic
 //! ```
 //!
+//! Every subcommand accepts `--block-size BYTES` (default 65536), the `B`
+//! of the external-memory cost model. `mis run --cache-mb N` gives the
+//! swap algorithms a buffer-pool page cache of `N` MiB over the adjacency
+//! file: rounds with few live candidates then verify them through the
+//! pool instead of re-scanning the whole file (`--policy` picks the
+//! eviction policy, `--paged-threshold` the candidate fraction below
+//! which a round goes paged).
+//!
 //! `<graph>` accepts plain (`MISADJ01`) and compressed (`MISADJC1`)
 //! adjacency files, detected by magic bytes. Every run prints IS size,
-//! scan counts, block transfers and the modelled memory, and verifies the
-//! result before reporting success.
+//! scan counts, block transfers, cache hit rates (when caching) and the
+//! modelled memory, and verifies the result before reporting success.
 
 use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
@@ -27,7 +36,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use semi_mis::algo::peeling::peel_and_solve;
-use semi_mis::extmem::SortConfig;
+use semi_mis::extmem::{SortConfig, DEFAULT_BLOCK_SIZE};
 use semi_mis::graph::{
     build_adj_file, compress_adj, degree_sort_adj_file, edgelist, CompressedAdjFile,
 };
@@ -47,7 +56,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "
-usage: mis <command> ...
+usage: mis <command> ... [--block-size BYTES]
   gen <plrg|dataset|er|ba|rmat> [options] <out.adj>
   convert <edges.txt> <out.adj>
   sort <in.adj> <out.adj>
@@ -55,6 +64,7 @@ usage: mis <command> ...
   stats <graph>
   bound <graph>
   run <graph> [--algo greedy|baseline|onek|twok|peel|tfp|dynamic] [--rounds N]
+              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
 ";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -118,16 +128,16 @@ enum AnyFile {
 }
 
 impl AnyFile {
-    fn open(path: &Path, stats: Arc<IoStats>) -> Result<Self, String> {
+    fn open(path: &Path, stats: Arc<IoStats>, block_size: usize) -> Result<Self, String> {
         let mut magic = [0u8; 8];
         std::fs::File::open(path)
             .and_then(|mut f| f.read_exact(&mut magic))
             .map_err(|e| format!("{}: {e}", path.display()))?;
         match &magic {
-            b"MISADJ01" => AdjFile::open(path, stats)
+            b"MISADJ01" => AdjFile::open_with_block_size(path, stats, block_size)
                 .map(AnyFile::Plain)
                 .map_err(|e| e.to_string()),
-            b"MISADJC1" => CompressedAdjFile::open(path, stats)
+            b"MISADJC1" => CompressedAdjFile::open_with_block_size(path, stats, block_size)
                 .map(AnyFile::Compressed)
                 .map_err(|e| e.to_string()),
             _ => Err(format!("{}: not an adjacency file", path.display())),
@@ -142,11 +152,24 @@ impl AnyFile {
     }
 }
 
-fn write_graph(graph: &semi_mis::graph::CsrGraph, out: &Path) -> Result<(), String> {
+/// Parses the shared `--block-size` option (the cost model's `B`).
+fn opt_block_size(options: &[(String, String)]) -> Result<usize, String> {
+    let block_size: usize = opt_parse(options, "block-size", DEFAULT_BLOCK_SIZE)?;
+    if block_size == 0 {
+        return Err("--block-size must be non-zero".into());
+    }
+    Ok(block_size)
+}
+
+fn write_graph(
+    graph: &semi_mis::graph::CsrGraph,
+    out: &Path,
+    block_size: usize,
+) -> Result<(), String> {
     let stats = IoStats::shared();
-    build_adj_file(graph, out, stats, 64 * 1024).map_err(|e| e.to_string())?;
+    build_adj_file(graph, out, stats, block_size).map_err(|e| e.to_string())?;
     println!(
-        "wrote {}: {} vertices, {} edges",
+        "wrote {}: {} vertices, {} edges (block size {block_size} B)",
         out.display(),
         graph.num_vertices(),
         graph.num_edges()
@@ -193,45 +216,55 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown model `{other}`")),
     };
-    write_graph(&graph, &out)
+    write_graph(&graph, &out, opt_block_size(&opts)?)
 }
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let [input, out] = args else {
+    let (pos, opts) = parse_opts(args)?;
+    let [input, out] = pos.as_slice() else {
         return Err("convert needs: <edges.txt> <out.adj>".into());
     };
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let graph = edgelist::read_csr(BufReader::new(file)).map_err(|e| e.to_string())?;
-    write_graph(&graph, Path::new(out))
+    write_graph(&graph, Path::new(out), opt_block_size(&opts)?)
 }
 
 fn cmd_sort(args: &[String]) -> Result<(), String> {
-    let [input, out] = args else {
+    let (pos, opts) = parse_opts(args)?;
+    let [input, out] = pos.as_slice() else {
         return Err("sort needs: <in.adj> <out.adj>".into());
     };
+    let block_size = opt_block_size(&opts)?;
     let stats = IoStats::shared();
-    let file = AdjFile::open(Path::new(input), Arc::clone(&stats)).map_err(|e| e.to_string())?;
+    let file = AdjFile::open_with_block_size(Path::new(input), Arc::clone(&stats), block_size)
+        .map_err(|e| e.to_string())?;
     let scratch = ScratchDir::new("mis-cli-sort").map_err(|e| e.to_string())?;
     let start = Instant::now();
-    degree_sort_adj_file(&file, Path::new(out), &SortConfig::default(), &scratch)
-        .map_err(|e| e.to_string())?;
+    let sort_cfg = SortConfig {
+        block_size,
+        ..SortConfig::default()
+    };
+    degree_sort_adj_file(&file, Path::new(out), &sort_cfg, &scratch).map_err(|e| e.to_string())?;
     println!(
-        "degree-sorted {} -> {} in {:.1}s ({})",
+        "degree-sorted {} -> {} in {:.1}s, block size {} B ({})",
         input,
         out,
         start.elapsed().as_secs_f64(),
+        block_size,
         stats.snapshot()
     );
     Ok(())
 }
 
 fn cmd_compress(args: &[String]) -> Result<(), String> {
-    let [input, out] = args else {
+    let (pos, opts) = parse_opts(args)?;
+    let [input, out] = pos.as_slice() else {
         return Err("compress needs: <in.adj> <out.cadj>".into());
     };
+    let block_size = opt_block_size(&opts)?;
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
-    let compressed = compress_adj(file.scan_ref(), Path::new(out), stats, 64 * 1024)
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), block_size)?;
+    let compressed = compress_adj(file.scan_ref(), Path::new(out), stats, block_size)
         .map_err(|e| e.to_string())?;
     let before = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
     let after = compressed.disk_bytes().map_err(|e| e.to_string())?;
@@ -243,11 +276,12 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let [input] = args else {
+    let (pos, opts) = parse_opts(args)?;
+    let [input] = pos.as_slice() else {
         return Err("stats needs: <graph>".into());
     };
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
     let scan = file.scan_ref();
     let n = scan.num_vertices();
     let mut max_deg = 0usize;
@@ -275,11 +309,12 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bound(args: &[String]) -> Result<(), String> {
-    let [input] = args else {
+    let (pos, opts) = parse_opts(args)?;
+    let [input] = pos.as_slice() else {
         return Err("bound needs: <graph>".into());
     };
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
     let scan = file.scan_ref();
     let star = upper_bound_scan(scan);
     let matching = semi_mis::algo::matching_bound(scan);
@@ -296,7 +331,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let algo = opt(&opts, "algo").unwrap_or("twok");
     let rounds: u32 = opt_parse(&opts, "rounds", 0)?;
-    let config = if rounds > 0 {
+    let block_size = opt_block_size(&opts)?;
+    let cache_mb: u64 = opt_parse(&opts, "cache-mb", 0)?;
+    let policy: PolicyKind = match opt(&opts, "policy") {
+        None => PolicyKind::default(),
+        Some(s) => s.parse()?,
+    };
+    let paged_threshold: f64 = opt_parse(&opts, "paged-threshold", DEFAULT_PAGED_THRESHOLD)?;
+    if cache_mb == 0 && (opt(&opts, "policy").is_some() || opt(&opts, "paged-threshold").is_some())
+    {
+        return Err("--policy and --paged-threshold require --cache-mb".into());
+    }
+    let mut config = if rounds > 0 {
         SwapConfig::early_stop(rounds)
     } else {
         SwapConfig::default()
@@ -304,9 +350,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let quiet = opt(&opts, "quiet").is_some();
 
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats))?;
+    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), block_size)?;
+
+    // --cache-mb: build the buffer-pool access path for the swap rounds.
+    let mut pager_config = None;
+    let raccess: Option<RandomAccessGraph> = if cache_mb > 0 {
+        if !matches!(algo, "onek" | "twok") {
+            return Err("--cache-mb only applies to --algo onek|twok".into());
+        }
+        let AnyFile::Plain(adj) = &file else {
+            return Err(
+                "--cache-mb needs a plain adjacency file (compressed records \
+                        have no fixed offsets to index)"
+                    .into(),
+            );
+        };
+        config.paged_threshold = paged_threshold;
+        let pc = PagerConfig::with_capacity_bytes(cache_mb << 20, block_size, policy);
+        pager_config = Some(pc);
+        Some(RandomAccessGraph::open(adj, pc).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let access = raccess.as_ref().map(|ra| ra as &dyn NeighborAccess);
+
     let scan = file.scan_ref();
     let start = Instant::now();
+    let mut paged_rounds = None;
     let (set, scans, memory) = match algo {
         "greedy" | "baseline" => {
             let r = Greedy::new().run(scan);
@@ -314,7 +384,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         "onek" => {
             let g = Greedy::new().run(scan);
-            let o = OneKSwap::with_config(config).run(scan, &g.set);
+            let o = OneKSwap::with_config(config).run_paged(scan, access, &g.set);
+            paged_rounds = Some(o.stats.paged_rounds);
             (
                 o.result.set,
                 g.file_scans + o.result.file_scans,
@@ -323,7 +394,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         "twok" => {
             let g = Greedy::new().run(scan);
-            let o = TwoKSwap::with_config(config).run(scan, &g.set);
+            let o = TwoKSwap::with_config(config).run_paged(scan, access, &g.set);
+            paged_rounds = Some(o.stats.paged_rounds);
             (
                 o.result.set,
                 g.file_scans + o.result.file_scans,
@@ -371,6 +443,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("|IS| = {}", set.len());
     println!("time = {:.2}s", elapsed.as_secs_f64());
     println!("algorithm scans = {scans}");
+    println!("block size = {block_size} B");
+    if let Some(pc) = pager_config {
+        println!(
+            "page cache = {} MiB ({} frames of {} B, {} eviction), paged threshold {:.2}",
+            cache_mb,
+            pc.frames,
+            pc.page_size,
+            pc.policy.name(),
+            paged_threshold,
+        );
+        println!("paged rounds = {}", paged_rounds.unwrap_or(0));
+    }
     println!("modelled memory = {} B", memory.total());
     println!("io = {}", stats.snapshot());
     println!("verified: independent = {independent}, maximal = {maximal}");
@@ -425,8 +509,13 @@ mod tests {
         let dir = ScratchDir::new("cli-test").unwrap();
         let path = dir.file("junk.bin");
         std::fs::write(&path, b"garbage garbage!").unwrap();
-        assert!(AnyFile::open(&path, IoStats::shared()).is_err());
-        assert!(AnyFile::open(&dir.file("missing.adj"), IoStats::shared()).is_err());
+        assert!(AnyFile::open(&path, IoStats::shared(), DEFAULT_BLOCK_SIZE).is_err());
+        assert!(AnyFile::open(
+            &dir.file("missing.adj"),
+            IoStats::shared(),
+            DEFAULT_BLOCK_SIZE
+        )
+        .is_err());
     }
 
     #[test]
@@ -449,5 +538,54 @@ mod tests {
         let cout = dir.file("g.cadj").display().to_string();
         dispatch(&strs(&["compress", &out, &cout])).unwrap();
         dispatch(&strs(&["run", &cout, "--algo", "twok", "--rounds", "2"])).unwrap();
+    }
+
+    #[test]
+    fn run_with_page_cache_round_trip() {
+        let dir = ScratchDir::new("cli-cache").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "plrg",
+            "--vertices",
+            "2000",
+            "--beta",
+            "2.0",
+            "--block-size",
+            "4096",
+            &out,
+        ]))
+        .unwrap();
+        // Paged twok run through a 1 MiB cache, both policies.
+        for policy in ["clock", "lru"] {
+            dispatch(&strs(&[
+                "run",
+                &out,
+                "--algo",
+                "twok",
+                "--cache-mb",
+                "1",
+                "--policy",
+                policy,
+                "--block-size",
+                "4096",
+                "--paged-threshold",
+                "1.0",
+            ]))
+            .unwrap();
+        }
+        // Cache flags are rejected where they cannot apply.
+        assert!(dispatch(&strs(&["run", &out, "--algo", "greedy", "--cache-mb", "1"])).is_err());
+        assert!(dispatch(&strs(&["run", &out, "--policy", "clock"])).is_err());
+        assert!(dispatch(&strs(&["run", &out, "--paged-threshold", "0.5"])).is_err());
+        assert!(dispatch(&strs(&["run", &out, "--policy", "fifo", "--cache-mb", "1"])).is_err());
+        let cout = dir.file("g.cadj").display().to_string();
+        dispatch(&strs(&["compress", &out, &cout])).unwrap();
+        assert!(dispatch(&strs(&["run", &cout, "--cache-mb", "1"])).is_err());
+    }
+
+    #[test]
+    fn block_size_flag_is_validated() {
+        assert!(dispatch(&strs(&["stats", "x.adj", "--block-size", "0"])).is_err());
     }
 }

@@ -6,9 +6,10 @@
 //! This facade crate re-exports the whole workspace under one roof:
 //!
 //! * [`extmem`] — external-memory substrate (block-accounted I/O, external
-//!   sort, external priority queue);
-//! * [`graph`] — graph storage (in-memory CSR and the semi-external
-//!   adjacency-list file of the paper's Section 2);
+//!   sort, external priority queue, buffer-pool page cache);
+//! * [`graph`] — graph storage (in-memory CSR, the semi-external
+//!   adjacency-list file of the paper's Section 2, and the
+//!   `RandomAccessGraph` paged access path over it);
 //! * [`gen`] — graph generators, including the `P(α,β)` power-law random
 //!   graph model and synthetic analogues of the paper's datasets;
 //! * [`algo`] — the algorithms: semi-external `Greedy`, `OneKSwap`,
@@ -55,7 +56,10 @@ pub mod prelude {
     pub use mis_core::{
         degree_order, is_independent_set, is_maximal_independent_set, upper_bound_scan, Baseline,
         DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs, TwoKSwap,
+        DEFAULT_PAGED_THRESHOLD,
     };
-    pub use mis_extmem::{IoStats, ScratchDir};
-    pub use mis_graph::{AdjFile, CsrGraph, GraphScan, OrderedCsr, VertexId};
+    pub use mis_extmem::{IoStats, PagerConfig, PolicyKind, ScratchDir};
+    pub use mis_graph::{
+        AdjFile, CsrGraph, GraphScan, NeighborAccess, OrderedCsr, RandomAccessGraph, VertexId,
+    };
 }

@@ -203,6 +203,58 @@ proptest! {
     }
 
     #[test]
+    fn random_access_neighbors_agree_with_scan(g in arb_graph(40, 150)) {
+        // The pager satellite property: RandomAccessGraph::neighbors
+        // agrees with a full GraphScan for every vertex, under several
+        // cache capacities (1 frame, a few frames, and ≥ all pages) and
+        // both eviction policies. The tiny page size forces records to
+        // straddle page boundaries.
+        use std::sync::Arc;
+        let scratch = ScratchDir::new("prop-raccess").unwrap();
+        let stats = IoStats::shared();
+        let file = semi_mis::graph::build_adj_file(&g, &scratch.file("g.adj"), Arc::clone(&stats), 256).unwrap();
+        let mut expected = vec![Vec::new(); g.num_vertices()];
+        file.scan(&mut |v, ns| expected[v as usize] = ns.to_vec()).unwrap();
+        let page_size = 32usize;
+        let all_pages = (file.disk_bytes().unwrap() as usize).div_ceil(page_size);
+        for policy in [PolicyKind::Clock, PolicyKind::Lru] {
+            for frames in [1, 3, all_pages + 1] {
+                let ra = RandomAccessGraph::open(&file, PagerConfig { page_size, frames, policy }).unwrap();
+                for v in 0..g.num_vertices() as u32 {
+                    prop_assert_eq!(
+                        ra.neighbors(v).unwrap(),
+                        expected[v as usize].clone(),
+                        "policy {:?}, {} frames, v{}", policy, frames, v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paged_swaps_match_scan_swaps_on_disk(g in arb_graph(40, 150)) {
+        // Full pipeline equivalence on a real file: one-k and two-k runs
+        // through the buffer pool return exactly the scan-only set.
+        use std::sync::Arc;
+        let scratch = ScratchDir::new("prop-paged").unwrap();
+        let stats = IoStats::shared();
+        let file = semi_mis::graph::build_adj_file(&g, &scratch.file("g.adj"), Arc::clone(&stats), 256).unwrap();
+        let ra = RandomAccessGraph::open(
+            &file,
+            PagerConfig { page_size: 64, frames: 2, policy: PolicyKind::Clock },
+        ).unwrap();
+        let greedy = Greedy::new().run(&file);
+        let config = SwapConfig::default().with_paged_threshold(1.0);
+        let one_scan = OneKSwap::new().run(&file, &greedy.set);
+        let one_paged = OneKSwap::with_config(config).run_paged(&file, Some(&ra), &greedy.set);
+        prop_assert_eq!(one_paged.result.set, one_scan.result.set);
+        let two_scan = TwoKSwap::new().run(&file, &greedy.set);
+        let two_paged = TwoKSwap::with_config(config).run_paged(&file, Some(&ra), &greedy.set);
+        prop_assert_eq!(&two_paged.result.set, &two_scan.result.set);
+        prop_assert!(is_maximal_independent_set(&file, &two_paged.result.set));
+    }
+
+    #[test]
     fn early_stop_is_prefix_of_full_run(g in arb_graph(40, 160)) {
         // Round-limited runs must report a prefix of the full run's
         // per-round gains (the algorithms are deterministic).

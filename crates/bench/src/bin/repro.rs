@@ -4,7 +4,7 @@
 //! repro <experiment>
 //!   table2 table4 table5 table6 table7 table8 table9
 //!   fig6 fig8 fig9 fig10
-//!   io pager cascade ablation
+//!   io pager churn cascade ablation
 //!   all        # everything (dataset suite computed once)
 //! ```
 //!
@@ -30,6 +30,7 @@ fn main() {
         "fig10" => fig10::run(),
         "io" => io::run(),
         "pager" => pager::run(),
+        "churn" => churn::run(),
         "cascade" => cascade::run(),
         "ablation" => ablation::run(),
         "bounds" => extensions::bounds(),
@@ -64,6 +65,8 @@ fn main() {
             println!();
             pager::run();
             println!();
+            churn::run();
+            println!();
             cascade::run();
             println!();
             ablation::run();
@@ -76,7 +79,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|cascade|ablation|bounds|peeling|compress|all>"
+                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|churn|cascade|ablation|bounds|peeling|compress|all>"
             );
             std::process::exit(2);
         }

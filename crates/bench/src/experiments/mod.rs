@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod cascade;
+pub mod churn;
 pub mod datasets;
 pub mod extensions;
 pub mod fig10;

@@ -1,17 +1,24 @@
-//! Incremental maintenance under edge insertions — the paper's stated
-//! future-work direction ("how our solutions can be extended to the
-//! incremental massive graphs with frequent updates").
+//! Incremental maintenance under edge insertions *and deletions* — the
+//! paper's stated future-work direction ("how our solutions can be
+//! extended to the incremental massive graphs with frequent updates").
 //!
 //! Strategy: keep the current independent set; after a batch of edge
-//! insertions (overlaid via [`mis_graph::delta::DeltaGraph`], so the base
+//! updates (overlaid via [`mis_graph::delta::DeltaGraph`], so the base
 //! file is untouched),
 //!
-//! 1. **evict** — one scan finds edges with both endpoints in the set and
-//!    drops the higher-id endpoint (deterministic, symmetric);
-//! 2. **recover** — a bounded number of one-k-swap rounds (which also
-//!    re-maximalises through its post-swap 0↔1 and finalisation passes)
-//!    wins back most of the evicted mass; Table 8's early-stop profile is
-//!    exactly why a small round budget suffices.
+//! 1. **evict** — one scan finds edges with both endpoints in the set
+//!    (only inserted edges can create these) and drops the higher-id
+//!    endpoint (deterministic, symmetric);
+//! 2. **recover** — a bounded number of one-k-swap rounds wins back most
+//!    of the evicted mass (Table 8's early-stop profile is exactly why a
+//!    small round budget suffices), and the swap's post-swap 0↔1 and
+//!    finalisation passes re-maximalise: a *deleted* edge can free a
+//!    previously excluded vertex — its last independent-set neighbour is
+//!    gone — and those vertices are swept into the set here;
+//! 3. **prove** — optionally one more scan certifies that the repaired
+//!    set is a maximal independent set of the edited graph, so callers
+//!    (e.g. the `mis_update` maintenance engine) can checkpoint it
+//!    without trusting the repair logic.
 //!
 //! Cost: `O(scan(|V|+|E|))` per batch instead of a from-scratch rebuild.
 
@@ -19,6 +26,7 @@ use mis_graph::{GraphScan, VertexId};
 
 use crate::onek::OneKSwap;
 use crate::result::{SwapConfig, SwapOutcome};
+use crate::verify::is_maximal_independent_set;
 
 /// Outcome of an incremental repair.
 #[derive(Debug, Clone)]
@@ -29,14 +37,48 @@ pub struct RepairOutcome {
     pub evicted: u64,
 }
 
-/// Repairs `set` so it is again a maximal independent set of `graph`
-/// (which must already include the inserted edges), then runs up to
-/// `recover_rounds` one-k-swap rounds to regain size.
-pub fn repair_independent_set<G: GraphScan + ?Sized>(
+/// Tuning for [`repair_updated_set`].
+#[derive(Debug, Clone, Copy)]
+pub struct RepairConfig {
+    /// One-k-swap round budget for the recover pass.
+    pub recover_rounds: u32,
+    /// Spend one extra scan proving maximality on the edited graph.
+    pub verify: bool,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            recover_rounds: 2,
+            verify: true,
+        }
+    }
+}
+
+/// Outcome of a deletion-aware incremental repair.
+#[derive(Debug, Clone)]
+pub struct UpdateRepairOutcome {
+    /// The repaired run (set, scans, per-round stats).
+    pub swap: SwapOutcome,
+    /// Members evicted because an inserted edge connected them.
+    pub evicted: u64,
+    /// Whether the verification scan proved the repaired set maximal on
+    /// the edited graph (`false` when [`RepairConfig::verify`] is off).
+    pub maximality_proved: bool,
+    /// Scans spent on the proof (0 or 1), *not* included in
+    /// `swap.result.file_scans`.
+    pub verify_scans: u64,
+}
+
+/// Repairs `set` after a batch of edge insertions **and deletions**:
+/// evict, bounded recover, re-maximalise, and optionally prove the result
+/// maximal on `graph` (which must already reflect every update, e.g. a
+/// [`mis_graph::delta::DeltaGraph`] with both overlays populated).
+pub fn repair_updated_set<G: GraphScan + ?Sized>(
     graph: &G,
     set: &[VertexId],
-    recover_rounds: u32,
-) -> RepairOutcome {
+    config: RepairConfig,
+) -> UpdateRepairOutcome {
     let n = graph.num_vertices();
     let mut member = vec![false; n];
     for &v in set {
@@ -56,12 +98,50 @@ pub fn repair_independent_set<G: GraphScan + ?Sized>(
         .expect("scan failed");
 
     let repaired: Vec<VertexId> = (0..n as VertexId).filter(|&v| member[v as usize]).collect();
-    let config = SwapConfig {
-        max_rounds: Some(recover_rounds),
+    let swap_config = SwapConfig {
+        max_rounds: Some(config.recover_rounds),
         ..SwapConfig::default()
     };
-    let swap = OneKSwap::with_config(config).run(graph, &repaired);
-    RepairOutcome { swap, evicted }
+    // The swap's initial scan promotes vertices freed by deletions into
+    // `A` states, and its finalisation pass guarantees maximality.
+    let swap = OneKSwap::with_config(swap_config).run(graph, &repaired);
+
+    let (maximality_proved, verify_scans) = if config.verify {
+        (is_maximal_independent_set(graph, &swap.result.set), 1)
+    } else {
+        (false, 0)
+    };
+    UpdateRepairOutcome {
+        swap,
+        evicted,
+        maximality_proved,
+        verify_scans,
+    }
+}
+
+/// Repairs `set` so it is again a maximal independent set of `graph`
+/// (which must already include the inserted edges), then runs up to
+/// `recover_rounds` one-k-swap rounds to regain size.
+///
+/// Insert-only convenience wrapper around [`repair_updated_set`] (no
+/// proof scan).
+pub fn repair_independent_set<G: GraphScan + ?Sized>(
+    graph: &G,
+    set: &[VertexId],
+    recover_rounds: u32,
+) -> RepairOutcome {
+    let out = repair_updated_set(
+        graph,
+        set,
+        RepairConfig {
+            recover_rounds,
+            verify: false,
+        },
+    );
+    RepairOutcome {
+        swap: out.swap,
+        evicted: out.evicted,
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +167,52 @@ mod tests {
     }
 
     #[test]
+    fn deletion_frees_an_excluded_vertex() {
+        // Triangle 0-1-2 with IS {0}: deleting (0, 2) leaves vertex 2
+        // with no IS neighbour, so the repair must sweep it in.
+        let g = mis_gen::special::cycle(3);
+        let mut delta = DeltaGraph::new(&g);
+        delta.delete_edge(0, 2);
+        let out = repair_updated_set(&delta, &[0], RepairConfig::default());
+        assert_eq!(out.evicted, 0);
+        assert!(out.maximality_proved);
+        assert_eq!(out.verify_scans, 1);
+        assert_eq!(out.swap.result.set, vec![0, 2]);
+    }
+
+    #[test]
+    fn mixed_inserts_and_deletes_repair_to_a_proven_maximal_set() {
+        let g = mis_gen::plrg::Plrg::with_vertices(3_000, 2.1)
+            .seed(11)
+            .generate();
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let initial = Greedy::new().run(&sorted).set;
+
+        // Edit: connect some IS members (forcing evictions) and delete a
+        // slice of real edges (freeing excluded vertices).
+        let mut delta = DeltaGraph::new(&g);
+        for pair in initial.chunks_exact(2).take(50) {
+            delta.insert_edge(pair[0], pair[1]);
+        }
+        let mut deleted = 0;
+        g.scan(&mut |v, ns| {
+            if deleted < 100 {
+                if let Some(&u) = ns.iter().find(|&&u| u > v) {
+                    delta.delete_edge(v, u);
+                    deleted += 1;
+                }
+            }
+        })
+        .unwrap();
+        assert!(delta.deleted_edges() > 0);
+
+        let out = repair_updated_set(&delta, &initial, RepairConfig::default());
+        assert!(out.evicted > 0, "conflicting insertions must evict");
+        assert!(out.maximality_proved, "proof scan must pass");
+        assert!(is_independent_set(&delta, &out.swap.result.set));
+    }
+
+    #[test]
     fn no_op_when_no_conflicts() {
         let g = mis_gen::special::path(6);
         let sorted = OrderedCsr::degree_sorted(&g);
@@ -94,6 +220,21 @@ mod tests {
         let out = repair_independent_set(&g, &greedy.set, 1);
         assert_eq!(out.evicted, 0);
         assert!(out.swap.result.set.len() >= greedy.set.len());
+    }
+
+    #[test]
+    fn verify_flag_controls_proof_scan() {
+        let g = mis_gen::special::path(6);
+        let out = repair_updated_set(
+            &g,
+            &[0],
+            RepairConfig {
+                recover_rounds: 1,
+                verify: false,
+            },
+        );
+        assert!(!out.maximality_proved);
+        assert_eq!(out.verify_scans, 0);
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub use bound::{best_upper_bound, matching_bound, upper_bound_scan};
 pub use cover::{cover_from_independent_set, is_vertex_cover, min_vertex_cover};
 pub use dynamic::DynamicUpdate;
 pub use greedy::{Baseline, Greedy};
-pub use incremental::repair_independent_set;
+pub use incremental::{
+    repair_independent_set, repair_updated_set, RepairConfig, RepairOutcome, UpdateRepairOutcome,
+};
 pub use onek::OneKSwap;
 pub use order::degree_order;
 pub use peeling::{peel, peel_and_solve};

@@ -25,6 +25,10 @@ pub struct IoStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    wal_bytes_written: AtomicU64,
+    wal_bytes_read: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoints_read: AtomicU64,
 }
 
 impl IoStats {
@@ -75,6 +79,32 @@ impl IoStats {
         self.cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `bytes` appended to a write-ahead update log.
+    ///
+    /// WAL traffic is strictly sequential appends, so it is tallied by
+    /// bytes rather than block transfers: the log's cost in the paper's
+    /// model is `wal_bytes / B` amortised over many small records, and
+    /// folding it into `blocks_written` would double-charge the flushes.
+    pub fn record_wal_write(&self, bytes: u64) {
+        self.wal_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` read while replaying or recovering a write-ahead
+    /// update log.
+    pub fn record_wal_read(&self, bytes: u64) {
+        self.wal_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one independent-set checkpoint written to disk.
+    pub fn record_checkpoint_write(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one independent-set checkpoint loaded from disk.
+    pub fn record_checkpoint_read(&self) {
+        self.checkpoints_read.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -86,6 +116,10 @@ impl IoStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            wal_bytes_written: self.wal_bytes_written.load(Ordering::Relaxed),
+            wal_bytes_read: self.wal_bytes_read.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_read: self.checkpoints_read.load(Ordering::Relaxed),
         }
     }
 
@@ -99,6 +133,10 @@ impl IoStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.wal_bytes_written.store(0, Ordering::Relaxed);
+        self.wal_bytes_read.store(0, Ordering::Relaxed);
+        self.checkpoints_written.store(0, Ordering::Relaxed);
+        self.checkpoints_read.store(0, Ordering::Relaxed);
     }
 }
 
@@ -121,6 +159,14 @@ pub struct IoSnapshot {
     pub cache_misses: u64,
     /// Buffer-pool frames evicted to make room.
     pub cache_evictions: u64,
+    /// Bytes appended to write-ahead update logs.
+    pub wal_bytes_written: u64,
+    /// Bytes read back from write-ahead update logs (replay/recovery).
+    pub wal_bytes_read: u64,
+    /// Independent-set checkpoints written.
+    pub checkpoints_written: u64,
+    /// Independent-set checkpoints loaded.
+    pub checkpoints_read: u64,
 }
 
 impl IoSnapshot {
@@ -151,6 +197,16 @@ impl IoSnapshot {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            wal_bytes_written: self
+                .wal_bytes_written
+                .saturating_sub(earlier.wal_bytes_written),
+            wal_bytes_read: self.wal_bytes_read.saturating_sub(earlier.wal_bytes_read),
+            checkpoints_written: self
+                .checkpoints_written
+                .saturating_sub(earlier.checkpoints_written),
+            checkpoints_read: self
+                .checkpoints_read
+                .saturating_sub(earlier.checkpoints_read),
         }
     }
 }
@@ -174,6 +230,20 @@ impl fmt::Display for IoSnapshot {
                 self.cache_hits + self.cache_misses,
                 100.0 * self.cache_hit_rate(),
                 self.cache_evictions
+            )?;
+        }
+        if self.wal_bytes_written + self.wal_bytes_read > 0 {
+            write!(
+                f,
+                ", wal {} B written / {} B read",
+                self.wal_bytes_written, self.wal_bytes_read
+            )?;
+        }
+        if self.checkpoints_written + self.checkpoints_read > 0 {
+            write!(
+                f,
+                ", checkpoints {} written / {} read",
+                self.checkpoints_written, self.checkpoints_read
             )?;
         }
         Ok(())
@@ -231,6 +301,37 @@ mod tests {
         assert!(text.contains("1 blocks read"));
         // No cache traffic: the cache section is omitted entirely.
         assert!(!text.contains("cache"));
+    }
+
+    #[test]
+    fn wal_and_checkpoint_counters() {
+        let stats = IoStats::shared();
+        let text = stats.snapshot().to_string();
+        // Quiet counters keep the summary free of wal/checkpoint noise.
+        assert!(!text.contains("wal"));
+        assert!(!text.contains("checkpoints"));
+        stats.record_wal_write(100);
+        stats.record_wal_write(28);
+        stats.record_wal_read(64);
+        stats.record_checkpoint_write();
+        stats.record_checkpoint_read();
+        stats.record_checkpoint_read();
+        let first = stats.snapshot();
+        assert_eq!(first.wal_bytes_written, 128);
+        assert_eq!(first.wal_bytes_read, 64);
+        assert_eq!(first.checkpoints_written, 1);
+        assert_eq!(first.checkpoints_read, 2);
+        let text = first.to_string();
+        assert!(text.contains("wal 128 B written / 64 B read"));
+        assert!(text.contains("checkpoints 1 written / 2 read"));
+        stats.record_wal_write(10);
+        stats.record_checkpoint_write();
+        let delta = stats.snapshot().since(&first);
+        assert_eq!(delta.wal_bytes_written, 10);
+        assert_eq!(delta.wal_bytes_read, 0);
+        assert_eq!(delta.checkpoints_written, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
     }
 
     #[test]

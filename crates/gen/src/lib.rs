@@ -17,7 +17,10 @@
 //!   4, 5 and 7, used as regression tests for the swap state machines;
 //! * [`datasets`] — synthetic analogues of Table 4's datasets, fitted to
 //!   the same average degree (and scaled vertex counts) inside the
-//!   `P(α,β)` family.
+//!   `P(α,β)` family;
+//! * [`churn`] — reproducible timestamped insert/delete streams over an
+//!   existing graph, the workload of the durable edge-update subsystem
+//!   (`repro churn`).
 //!
 //! All generators are deterministic given a seed.
 
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ba;
+pub mod churn;
 pub mod datasets;
 pub mod er;
 pub mod figures;
@@ -33,5 +37,6 @@ pub mod plrg;
 pub mod rmat;
 pub mod special;
 
+pub use churn::{churn_stream, ChurnKind, ChurnOp};
 pub use datasets::{Dataset, DATASETS};
 pub use plrg::Plrg;

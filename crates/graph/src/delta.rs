@@ -1,14 +1,15 @@
-//! Edge-insertion overlays — substrate for the paper's "incremental
+//! Edge-update overlays — substrate for the paper's "incremental
 //! massive graphs with frequent updates" future-work direction.
 //!
 //! Rewriting a multi-gigabyte adjacency file for every batch of edge
-//! insertions defeats the point of the semi-external model. A
-//! [`DeltaGraph`] keeps the base representation untouched and overlays an
-//! in-memory batch of inserted edges (`O(batch)` memory): scans merge the
-//! extra neighbours into each record on the fly, so every algorithm in
-//! `mis-core` runs on the updated graph unchanged. When the batch grows
+//! updates defeats the point of the semi-external model. A [`DeltaGraph`]
+//! keeps the base representation untouched and overlays an in-memory
+//! batch of **inserted** edges plus a tombstone set of **deleted** edges
+//! (`O(batch)` memory): scans merge the extra neighbours into each record
+//! and filter the tombstoned ones on the fly, so every algorithm in
+//! `mis-core` runs on the edited graph unchanged. When the batch grows
 //! past the memory budget, compact it into a new base file and start a
-//! fresh overlay.
+//! fresh overlay (see `mis_update`'s log compaction).
 
 use std::io;
 
@@ -16,13 +17,59 @@ use crate::hash::FxHashMap;
 use crate::scan::GraphScan;
 use crate::VertexId;
 
-/// A base graph plus an in-memory batch of inserted edges.
+/// A base graph plus an in-memory batch of inserted and deleted edges.
+///
+/// Each edited pair lives on exactly one side of the overlay — `extra`
+/// (merged into records at scan time) or `removed` (filtered out of
+/// records at scan time) — and the last operation on a pair wins, so
+/// scans always reflect a per-pair replay of the edit stream, even for
+/// streams that insert edges the base already has or delete edges that
+/// never existed. The running edge *count* is exact for valid streams
+/// (inserts name absent edges, deletes name present ones) and merely
+/// drifts for invalid ones; see [`DeltaGraph::count_edges_exact`].
 #[derive(Debug)]
 pub struct DeltaGraph<'a, G: GraphScan + ?Sized> {
     base: &'a G,
     /// Extra neighbours per vertex (both directions of each insertion).
     extra: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Tombstoned base neighbours per vertex (both directions of each
+    /// deletion), filtered out of records at scan time.
+    removed: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Whether the pair currently in `extra`/`removed` is *counted* in
+    /// `added_edges`/`deleted_edges` (keyed by the normalised pair). An
+    /// uncounted `extra` pair is a base edge resurrected after deletion;
+    /// an uncounted `removed` pair is the retraction of an overlay
+    /// insert. Tracking the flag is what keeps counts exact across
+    /// delete→insert→delete chains without knowing base membership.
+    counted: FxHashMap<(VertexId, VertexId), bool>,
     added_edges: u64,
+    deleted_edges: u64,
+}
+
+fn pair_key(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    (u.min(v), u.max(v))
+}
+
+fn pair_contains(map: &FxHashMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) -> bool {
+    map.get(&u).is_some_and(|list| list.contains(&v))
+}
+
+/// Inserts the pair into `map` in both directions.
+fn pair_insert(map: &mut FxHashMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) {
+    map.entry(u).or_default().push(v);
+    map.entry(v).or_default().push(u);
+}
+
+/// Removes one direction of a pair from `map[u]`, if present.
+fn pair_remove(map: &mut FxHashMap<VertexId, Vec<VertexId>>, u: VertexId, v: VertexId) {
+    if let Some(list) = map.get_mut(&u) {
+        if let Some(i) = list.iter().position(|&x| x == v) {
+            list.swap_remove(i);
+            if list.is_empty() {
+                map.remove(&u);
+            }
+        }
+    }
 }
 
 impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
@@ -31,30 +78,90 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
         Self {
             base,
             extra: FxHashMap::default(),
+            removed: FxHashMap::default(),
+            counted: FxHashMap::default(),
             added_edges: 0,
+            deleted_edges: 0,
         }
     }
 
     /// Inserts an undirected edge. Endpoints must be existing vertices;
-    /// self-loops are ignored. Duplicates of *base* edges are tolerated
-    /// (records dedup at scan time); duplicates within the overlay are
-    /// dropped here.
+    /// self-loops are ignored. Re-inserting a tombstoned edge resurrects
+    /// it; inserting an edge that is already live — in the base file or
+    /// the overlay — leaves scans unchanged (records dedup against the
+    /// base at scan time), though a duplicate of a *base* edge inflates
+    /// [`DeltaGraph::num_edges`] by one, since base membership cannot be
+    /// checked without a scan.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
         let n = self.base.num_vertices() as VertexId;
         assert!(
             u < n && v < n,
             "edge ({u}, {v}) out of range for {n} vertices"
         );
-        if u == v {
+        if u == v || pair_contains(&self.extra, u, v) {
             return;
         }
-        let fwd = self.extra.entry(u).or_default();
-        if fwd.contains(&v) {
+        let key = pair_key(u, v);
+        if pair_contains(&self.removed, u, v) {
+            // Resurrect: move the pair from the tombstone side to the
+            // insert side. Undoing a counted (base-edge) deletion
+            // restores the base count; re-inserting a retracted overlay
+            // insert counts as a fresh insertion.
+            pair_remove(&mut self.removed, u, v);
+            pair_remove(&mut self.removed, v, u);
+            pair_insert(&mut self.extra, u, v);
+            let counted = self.counted.get_mut(&key).expect("flag tracks pair");
+            if *counted {
+                self.deleted_edges -= 1;
+                *counted = false;
+            } else {
+                self.added_edges += 1;
+                *counted = true;
+            }
             return;
         }
-        fwd.push(v);
-        self.extra.entry(v).or_default().push(u);
+        pair_insert(&mut self.extra, u, v);
+        self.counted.insert(key, true);
         self.added_edges += 1;
+    }
+
+    /// Deletes an undirected edge: the pair moves to the tombstone side
+    /// of the overlay, retracting any overlay insertion *and* filtering
+    /// any base copy out of subsequent scans. Deleting the same edge
+    /// twice is a no-op; deleting an edge that never existed leaves scans
+    /// unchanged but deflates [`DeltaGraph::num_edges`] by one, since
+    /// base membership cannot be checked without a scan.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
+        let n = self.base.num_vertices() as VertexId;
+        assert!(
+            u < n && v < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
+        if u == v || pair_contains(&self.removed, u, v) {
+            return;
+        }
+        let key = pair_key(u, v);
+        if pair_contains(&self.extra, u, v) {
+            // Retract the overlay side, but keep a tombstone so a base
+            // copy shadowed by a duplicate insert is deleted too.
+            pair_remove(&mut self.extra, u, v);
+            pair_remove(&mut self.extra, v, u);
+            pair_insert(&mut self.removed, u, v);
+            let counted = self.counted.get_mut(&key).expect("flag tracks pair");
+            if *counted {
+                self.added_edges -= 1;
+                *counted = false;
+            } else {
+                // The extra pair was itself a resurrected base edge:
+                // this deletion removes a base edge and counts.
+                self.deleted_edges += 1;
+                *counted = true;
+            }
+            return;
+        }
+        pair_insert(&mut self.removed, u, v);
+        self.counted.insert(key, true);
+        self.deleted_edges += 1;
     }
 
     /// Inserts a batch of edges.
@@ -64,15 +171,42 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
         }
     }
 
-    /// Number of overlay edges (undirected).
+    /// Deletes a batch of edges.
+    pub fn delete_edges(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        for (u, v) in edges {
+            self.delete_edge(u, v);
+        }
+    }
+
+    /// Number of live overlay insertions (undirected).
     pub fn added_edges(&self) -> u64 {
         self.added_edges
     }
 
+    /// Number of live tombstones (undirected).
+    pub fn deleted_edges(&self) -> u64 {
+        self.deleted_edges
+    }
+
+    /// Counts the edited graph's edges exactly with one scan, regardless
+    /// of duplicate-base inserts or phantom deletes in the overlay (see
+    /// [`GraphScan::num_edges`]'s caveat on this type).
+    pub fn count_edges_exact(&self) -> io::Result<u64> {
+        let mut directed = 0u64;
+        self.scan(&mut |_, ns| directed += ns.len() as u64)?;
+        Ok(directed / 2)
+    }
+
     /// Approximate overlay memory in bytes (the semi-external budget the
-    /// overlay consumes).
+    /// overlay consumes), covering insertions, tombstones and the
+    /// per-pair count flags.
     pub fn overlay_bytes(&self) -> u64 {
-        self.extra.values().map(|v| 4 * v.len() as u64 + 16).sum()
+        self.extra
+            .values()
+            .chain(self.removed.values())
+            .map(|v| 4 * v.len() as u64 + 16)
+            .sum::<u64>()
+            + 9 * self.counted.len() as u64
     }
 }
 
@@ -81,27 +215,37 @@ impl<G: GraphScan + ?Sized> GraphScan for DeltaGraph<'_, G> {
         self.base.num_vertices()
     }
 
+    /// `base + inserted − deleted`. Exact for valid edit streams (inserts
+    /// name absent edges, deletes name present ones); an insert that
+    /// duplicates a base edge or a delete of a non-existent edge drifts
+    /// this count while leaving scans correct — use
+    /// [`DeltaGraph::count_edges_exact`] when the stream is untrusted.
     fn num_edges(&self) -> u64 {
-        self.base.num_edges() + self.added_edges
+        self.base.num_edges() + self.added_edges - self.deleted_edges
     }
 
     fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
         let mut merged: Vec<VertexId> = Vec::new();
         self.base.scan(&mut |v, ns| {
-            match self.extra.get(&v) {
-                None => f(v, ns),
-                Some(extra) => {
-                    merged.clear();
-                    merged.extend_from_slice(ns);
-                    for &u in extra {
-                        // Tolerate inserts that duplicate base edges.
-                        if !ns.contains(&u) {
-                            merged.push(u);
-                        }
+            let extra = self.extra.get(&v);
+            let removed = self.removed.get(&v);
+            if extra.is_none() && removed.is_none() {
+                return f(v, ns);
+            }
+            merged.clear();
+            match removed {
+                None => merged.extend_from_slice(ns),
+                Some(dead) => merged.extend(ns.iter().copied().filter(|u| !dead.contains(u))),
+            }
+            if let Some(extra) = extra {
+                for &u in extra {
+                    // Tolerate inserts that duplicate base edges.
+                    if !ns.contains(&u) {
+                        merged.push(u);
                     }
-                    f(v, &merged);
                 }
             }
+            f(v, &merged);
         })
     }
 
@@ -119,6 +263,17 @@ mod tests {
         CsrGraph::from_edges(5, &[(0, 1), (1, 2)])
     }
 
+    fn records<G: GraphScan + ?Sized>(g: &G) -> Vec<(VertexId, Vec<VertexId>)> {
+        let mut records = Vec::new();
+        g.scan(&mut |v, ns| {
+            let mut sorted = ns.to_vec();
+            sorted.sort_unstable();
+            records.push((v, sorted));
+        })
+        .unwrap();
+        records
+    }
+
     #[test]
     fn overlay_merges_into_records() {
         let g = base();
@@ -126,14 +281,7 @@ mod tests {
         delta.insert_edge(0, 3);
         delta.insert_edge(3, 4);
         assert_eq!(delta.num_edges(), 4);
-        let mut records = Vec::new();
-        delta
-            .scan(&mut |v, ns| {
-                let mut sorted = ns.to_vec();
-                sorted.sort_unstable();
-                records.push((v, sorted));
-            })
-            .unwrap();
+        let records = records(&delta);
         assert_eq!(records[0], (0, vec![1, 3]));
         assert_eq!(records[3], (3, vec![0, 4]));
         assert_eq!(records[2], (2, vec![1]));
@@ -161,12 +309,110 @@ mod tests {
     }
 
     #[test]
+    fn deleting_a_base_edge_tombstones_both_directions() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.delete_edge(1, 2);
+        assert_eq!(delta.num_edges(), 1);
+        assert_eq!(delta.deleted_edges(), 1);
+        let records = records(&delta);
+        assert_eq!(records[1], (1, vec![0]));
+        assert_eq!(records[2], (2, vec![]));
+        // Deleting again is a no-op.
+        delta.delete_edge(2, 1);
+        assert_eq!(delta.deleted_edges(), 1);
+    }
+
+    #[test]
+    fn deleting_an_overlay_insert_retracts_it() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.insert_edge(3, 4);
+        delta.delete_edge(4, 3);
+        assert_eq!(delta.added_edges(), 0);
+        assert_eq!(delta.deleted_edges(), 0);
+        assert_eq!(delta.num_edges(), g.num_edges());
+        let records = records(&delta);
+        assert_eq!(records[3], (3, vec![]));
+        assert_eq!(records[4], (4, vec![]));
+    }
+
+    #[test]
+    fn reinserting_a_deleted_base_edge_resurrects_it() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.delete_edge(0, 1);
+        delta.insert_edge(1, 0);
+        assert_eq!(delta.added_edges(), 0);
+        assert_eq!(delta.deleted_edges(), 0);
+        let records = records(&delta);
+        assert_eq!(records[0], (0, vec![1]));
+        assert_eq!(records[1], (1, vec![0, 2]));
+    }
+
+    #[test]
+    fn interleaved_edits_match_a_materialised_graph() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.insert_edge(0, 4);
+        delta.delete_edge(1, 2);
+        delta.insert_edge(2, 3);
+        delta.delete_edge(0, 4); // retract the overlay insert again
+        delta.insert_edge(1, 2); // resurrect the base edge
+        delta.delete_edge(0, 1);
+        // Expected edit result: {(1,2), (2,3)}.
+        let expected = CsrGraph::from_edges(5, &[(1, 2), (2, 3)]);
+        assert_eq!(delta.num_edges(), expected.num_edges());
+        assert_eq!(records(&delta), records(&expected));
+    }
+
+    #[test]
+    fn deleting_a_base_edge_behind_a_duplicate_insert_still_deletes_it() {
+        // Inserting an edge the base already has, then deleting it: the
+        // delete must retract the overlay copy AND tombstone the base
+        // copy (last write wins per pair).
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.insert_edge(0, 1); // duplicate of a base edge
+        delta.delete_edge(0, 1);
+        let recs = records(&delta);
+        assert_eq!(recs[0], (0, vec![]));
+        assert_eq!(recs[1], (1, vec![2]));
+        assert_eq!(delta.count_edges_exact().unwrap(), 1);
+        // Re-inserting brings it back.
+        delta.insert_edge(0, 1);
+        assert_eq!(records(&delta)[0], (0, vec![1]));
+    }
+
+    #[test]
+    fn delete_insert_delete_chain_keeps_counts_exact() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        // Valid stream on a base edge: delete, resurrect, delete again.
+        delta.delete_edge(0, 1);
+        delta.insert_edge(0, 1);
+        delta.delete_edge(0, 1);
+        assert_eq!(delta.num_edges(), 1);
+        assert_eq!(delta.count_edges_exact().unwrap(), 1);
+        // Valid stream on a fresh edge: insert, delete, insert again.
+        delta.insert_edge(3, 4);
+        delta.delete_edge(3, 4);
+        delta.insert_edge(3, 4);
+        assert_eq!(delta.num_edges(), 2);
+        assert_eq!(delta.count_edges_exact().unwrap(), 2);
+        assert_eq!(records(&delta)[3], (3, vec![4]));
+    }
+
+    #[test]
     fn overlay_memory_is_reported() {
         let g = base();
         let mut delta = DeltaGraph::new(&g);
         assert_eq!(delta.overlay_bytes(), 0);
         delta.insert_edge(0, 4);
         assert!(delta.overlay_bytes() > 0);
+        let insert_only = delta.overlay_bytes();
+        delta.delete_edge(0, 1);
+        assert!(delta.overlay_bytes() > insert_only);
     }
 
     #[test]
@@ -175,5 +421,13 @@ mod tests {
         let g = base();
         let mut delta = DeltaGraph::new(&g);
         delta.insert_edge(0, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delete_rejects_unknown_vertices() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.delete_edge(0, 99);
     }
 }

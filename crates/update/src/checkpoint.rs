@@ -1,0 +1,201 @@
+//! Independent-set checkpoints.
+//!
+//! A checkpoint pins the maintained independent set to a WAL epoch so
+//! maintenance resumes from the last repaired state instead of a
+//! from-scratch rebuild. Format:
+//!
+//! ```text
+//! magic   "MISCKPT1"                          8 bytes
+//! epoch   u64 LE       WAL epoch the set is valid at
+//! n       u64 LE       set size
+//! ids     gap-coded ascending varints (see `mis_extmem::varint`)
+//! crc     u32 LE       FNV-1a over everything after the magic
+//! ```
+//!
+//! Writes go through a temp file + rename, so a crash mid-checkpoint
+//! leaves the previous checkpoint intact; loads validate the checksum and
+//! reject short or tampered files. Reads and writes bump the
+//! `checkpoints_read` / `checkpoints_written` counters of the shared
+//! [`IoStats`].
+
+use std::io::{self, Cursor, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use mis_extmem::codec;
+use mis_extmem::varint::{read_ascending_gaps, write_ascending_gaps};
+use mis_extmem::IoStats;
+use mis_graph::VertexId;
+
+/// Magic bytes identifying an independent-set checkpoint.
+pub const CKPT_MAGIC: &[u8; 8] = b"MISCKPT1";
+
+/// 32-bit FNV-1a (shared definition with the WAL would be circular; the
+/// eight-line function is simply duplicated).
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// A loaded checkpoint: the set and the WAL epoch it is valid at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// WAL epoch the set reflects.
+    pub epoch: u64,
+    /// The independent set, strictly ascending.
+    pub set: Vec<VertexId>,
+}
+
+impl Checkpoint {
+    /// Writes `set` (strictly ascending vertex ids) as the checkpoint for
+    /// `epoch`, atomically replacing any previous checkpoint at `path`.
+    /// Returns the byte size written.
+    pub fn write(
+        path: &Path,
+        epoch: u64,
+        set: &[VertexId],
+        stats: &Arc<IoStats>,
+    ) -> io::Result<u64> {
+        if set.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint set must be strictly ascending",
+            ));
+        }
+        let mut payload = Vec::new();
+        codec::write_u64(&mut payload, epoch)?;
+        codec::write_u64(&mut payload, set.len() as u64)?;
+        write_ascending_gaps(&mut payload, set)?;
+        let crc = fnv1a32(&payload);
+
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(CKPT_MAGIC)?;
+            file.write_all(&payload)?;
+            file.write_all(&crc.to_le_bytes())?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        stats.record_checkpoint_write();
+        Ok((CKPT_MAGIC.len() + payload.len() + 4) as u64)
+    }
+
+    /// Loads and validates the checkpoint at `path`.
+    pub fn load(path: &Path, stats: &Arc<IoStats>) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() < CKPT_MAGIC.len() + 8 + 8 + 4 {
+            return Err(bad("checkpoint file too short"));
+        }
+        if &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+            return Err(bad("not an independent-set checkpoint"));
+        }
+        let payload = &bytes[CKPT_MAGIC.len()..bytes.len() - 4];
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4-byte slice"));
+        if crc != fnv1a32(payload) {
+            return Err(bad("checkpoint checksum mismatch"));
+        }
+        let mut cur = Cursor::new(payload);
+        let epoch = codec::read_u64(&mut cur)?;
+        let n = codec::read_u64(&mut cur)? as usize;
+        let mut set = Vec::new();
+        read_ascending_gaps(&mut cur, &mut set, n)?;
+        if cur.position() != payload.len() as u64 {
+            return Err(bad("trailing bytes after checkpoint payload"));
+        }
+        stats.record_checkpoint_read();
+        Ok(Self { epoch, set })
+    }
+
+    /// Loads the checkpoint if `path` exists; `Ok(None)` when it does not.
+    pub fn load_if_exists(path: &Path, stats: &Arc<IoStats>) -> io::Result<Option<Self>> {
+        match Self::load(path, stats) {
+            Ok(ckpt) => Ok(Some(ckpt)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_extmem::ScratchDir;
+
+    #[test]
+    fn round_trip() {
+        let dir = ScratchDir::new("ckpt-rt").unwrap();
+        let path = dir.file("is.ckpt");
+        let stats = IoStats::shared();
+        let set: Vec<VertexId> = vec![0, 3, 4, 100, 4_000_000_000];
+        let bytes = Checkpoint::write(&path, 7, &set, &stats).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+        let loaded = Checkpoint::load(&path, &stats).unwrap();
+        assert_eq!(loaded, Checkpoint { epoch: 7, set });
+        let snap = stats.snapshot();
+        assert_eq!(snap.checkpoints_written, 1);
+        assert_eq!(snap.checkpoints_read, 1);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let dir = ScratchDir::new("ckpt-empty").unwrap();
+        let path = dir.file("is.ckpt");
+        let stats = IoStats::shared();
+        Checkpoint::write(&path, 1, &[], &stats).unwrap();
+        let loaded = Checkpoint::load(&path, &stats).unwrap();
+        assert_eq!(loaded.epoch, 1);
+        assert!(loaded.set.is_empty());
+    }
+
+    #[test]
+    fn rejects_unsorted_sets_and_corrupt_files() {
+        let dir = ScratchDir::new("ckpt-bad").unwrap();
+        let path = dir.file("is.ckpt");
+        let stats = IoStats::shared();
+        let err = Checkpoint::write(&path, 1, &[3, 3], &stats).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        Checkpoint::write(&path, 2, &[1, 5, 9], &stats).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Checkpoint::load(&path, &stats).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        std::fs::write(&path, b"short").unwrap();
+        assert!(Checkpoint::load(&path, &stats).is_err());
+    }
+
+    #[test]
+    fn load_if_exists_distinguishes_missing_from_broken() {
+        let dir = ScratchDir::new("ckpt-exists").unwrap();
+        let stats = IoStats::shared();
+        assert!(Checkpoint::load_if_exists(&dir.file("none.ckpt"), &stats)
+            .unwrap()
+            .is_none());
+        let path = dir.file("is.ckpt");
+        std::fs::write(&path, b"garbage garbage garbage garbage").unwrap();
+        assert!(Checkpoint::load_if_exists(&path, &stats).is_err());
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replacement() {
+        let dir = ScratchDir::new("ckpt-ow").unwrap();
+        let path = dir.file("is.ckpt");
+        let stats = IoStats::shared();
+        Checkpoint::write(&path, 1, &[1, 2], &stats).unwrap();
+        Checkpoint::write(&path, 2, &[4], &stats).unwrap();
+        let loaded = Checkpoint::load(&path, &stats).unwrap();
+        assert_eq!(loaded.epoch, 2);
+        assert_eq!(loaded.set, vec![4]);
+        // No temp file left behind.
+        assert!(!dir.file("is.ckpt.tmp").exists());
+    }
+}

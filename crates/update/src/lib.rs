@@ -1,0 +1,43 @@
+//! Durable edge updates for the semi-external MIS pipeline.
+//!
+//! The paper closes by asking how its solutions extend to "incremental
+//! massive graphs with frequent updates". `mis_core::incremental` answers
+//! the in-process half; this crate makes it durable, following the
+//! log-structured design of LogBase: instead of rewriting the
+//! multi-gigabyte base adjacency file per batch, edge updates append to a
+//! checksummed **write-ahead log**, overlay the base file at scan time,
+//! and are periodically **compacted** into a fresh base file.
+//!
+//! The moving parts:
+//!
+//! * [`wal::Wal`] — the write-ahead edge log: varint-encoded
+//!   insert/delete records with per-record FNV-1a checksums, epoch
+//!   markers as commit points, and torn-tail recovery on open (see the
+//!   module docs for the byte-level format);
+//! * [`checkpoint::Checkpoint`] — the independent-set checkpoint (set +
+//!   WAL epoch, gap-coded, checksummed, atomically replaced), so
+//!   maintenance resumes from the last repaired state instead of a
+//!   from-scratch rebuild;
+//! * [`store::UpdateStore`] — the maintenance engine gluing base file,
+//!   log and checkpoint together: `append_ops` → `apply` (replay into a
+//!   [`mis_graph::DeltaGraph`], deletion-aware repair via
+//!   [`mis_core::repair_updated_set`], re-checkpoint) → `compact` (merge
+//!   into a fresh indexed adjacency file, truncate the log).
+//!
+//! All log and checkpoint I/O is accounted in the shared
+//! [`mis_extmem::IoStats`] (`wal_bytes_written`, `wal_bytes_read`,
+//! `checkpoints_written`, `checkpoints_read`), keeping the subsystem
+//! inside the same cost model as the rest of the workspace. The `mis
+//! update` CLI subcommand and the `repro churn` experiment drive this
+//! crate end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::Checkpoint;
+pub use store::{ApplyReport, CompactReport, StoreStatus, UpdateStore};
+pub use wal::{EdgeOp, Wal, WalRecovery};

@@ -14,6 +14,13 @@
 //! mis run      <graph> [--algo A] [--rounds N] [--quiet]
 //!              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
 //!              A ∈ greedy | baseline | onek | twok | peel | tfp | dynamic
+//! mis update   <append|apply|compact|status> ...   durable edge updates
+//!              append <base.adj> --ops <file>      log one epoch of edits
+//!              apply <base.adj> [--rounds N]       repair + checkpoint the IS
+//!              compact <base.adj> <out.adj>        merge log into a new base
+//!              status <base.adj>                   inspect epochs/checkpoint
+//!              (all take [--wal F] [--checkpoint F]; defaults derive
+//!               from the base path: <base>.wal / <base>.ckpt)
 //! ```
 //!
 //! Every subcommand accepts `--block-size BYTES` (default 65536), the `B`
@@ -65,6 +72,10 @@ usage: mis <command> ... [--block-size BYTES]
   bound <graph>
   run <graph> [--algo greedy|baseline|onek|twok|peel|tfp|dynamic] [--rounds N]
               [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
+  update append <base.adj> --ops <file> [--wal F]
+         apply <base.adj> [--rounds N] [--wal F] [--checkpoint F]
+         compact <base.adj> <out.adj> [--wal F] [--checkpoint F]
+         status <base.adj> [--wal F] [--checkpoint F]
 ";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -78,6 +89,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(rest),
         "bound" => cmd_bound(rest),
         "run" => cmd_run(rest),
+        "update" => cmd_update(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -464,6 +476,210 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Derives the default WAL / checkpoint siblings of a base file.
+fn update_paths(base: &Path, opts: &Options) -> (PathBuf, PathBuf) {
+    let wal = opt(opts, "wal")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| base.with_extension("wal"));
+    let ckpt = opt(opts, "checkpoint")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| base.with_extension("ckpt"));
+    (wal, ckpt)
+}
+
+/// Parses an edits file: one op per line, `+ u v` inserts, `- u v`
+/// deletes; blank lines and `#` comments are skipped.
+fn parse_ops_file(path: &Path) -> Result<Vec<EdgeOp>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || {
+            format!(
+                "{}:{}: expected `+ u v` or `- u v`",
+                path.display(),
+                lineno + 1
+            )
+        };
+        let mut parts = line.split_whitespace();
+        let sign = parts.next().ok_or_else(bad)?;
+        let u: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let v: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        ops.push(match sign {
+            "+" => EdgeOp::Insert(u, v),
+            "-" => EdgeOp::Delete(u, v),
+            _ => return Err(bad()),
+        });
+    }
+    Ok(ops)
+}
+
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let [action, rest_pos @ ..] = pos.as_slice() else {
+        return Err("update needs: <append|apply|compact|status> <base.adj> ...".into());
+    };
+    let base = rest_pos
+        .first()
+        .ok_or("update needs a <base.adj> argument")?;
+    let base = Path::new(base);
+    let (wal, ckpt) = update_paths(base, &opts);
+    let block_size = opt_block_size(&opts)?;
+
+    // Validate the action and everything it needs *before* opening the
+    // store: a typo'd action, a bad edits file or a missing argument must
+    // not create (or recover) the WAL as a side effect.
+    let ops = match action.as_str() {
+        "append" => {
+            let ops_path = opt(&opts, "ops").ok_or("update append needs --ops <file>")?;
+            let ops = parse_ops_file(Path::new(ops_path))?;
+            if ops.is_empty() {
+                return Err(format!("{ops_path}: no operations"));
+            }
+            Some(ops)
+        }
+        "apply" | "status" => None,
+        "compact" => {
+            if rest_pos.len() < 2 {
+                return Err("update compact needs: <base.adj> <out.adj>".into());
+            }
+            None
+        }
+        other => return Err(format!("unknown update action `{other}`")),
+    };
+
+    let stats = IoStats::shared();
+
+    // `status` is documented as read-only: when no WAL exists yet, report
+    // from the base file and checkpoint alone instead of creating one.
+    if action == "status" && !wal.exists() {
+        let file = AdjFile::open_with_block_size(base, Arc::clone(&stats), block_size)
+            .map_err(|e| e.to_string())?;
+        println!("base: {} ({} B blocks)", base.display(), block_size);
+        println!("  |V| = {}", file.num_vertices());
+        println!(
+            "  |E| = {} on disk, {} live",
+            file.num_edges(),
+            file.num_edges()
+        );
+        println!("wal: {} (not created yet)", wal.display());
+        match semi_mis::update::Checkpoint::load_if_exists(&ckpt, &stats)
+            .map_err(|e| e.to_string())?
+        {
+            Some(c) => println!("checkpoint: epoch {}, |IS| = {}", c.epoch, c.set.len()),
+            None => println!("checkpoint: none (run `mis update apply`)"),
+        }
+        println!("io = {}", stats.snapshot());
+        return Ok(());
+    }
+
+    let (mut store, recovery) =
+        UpdateStore::open(base, &wal, &ckpt, Arc::clone(&stats), block_size)
+            .map_err(|e| e.to_string())?;
+    if recovery.dropped_bytes > 0 {
+        println!(
+            "wal recovery: dropped {} torn/uncommitted tail bytes, resumed at epoch {}",
+            recovery.dropped_bytes, recovery.last_epoch
+        );
+    }
+
+    match action.as_str() {
+        "append" => {
+            let ops = ops.expect("validated above");
+            let inserts = ops.iter().filter(|op| op.is_insert()).count();
+            let epoch = store.append_ops(&ops).map_err(|e| e.to_string())?;
+            println!(
+                "epoch {epoch}: logged {} ops ({} inserts, {} deletes) to {}",
+                ops.len(),
+                inserts,
+                ops.len() - inserts,
+                wal.display()
+            );
+        }
+        "apply" => {
+            let rounds: u32 = opt_parse(&opts, "rounds", 2)?;
+            let start = Instant::now();
+            let report = store
+                .apply(RepairConfig {
+                    recover_rounds: rounds,
+                    verify: true,
+                })
+                .map_err(|e| e.to_string())?;
+            if report.up_to_date {
+                println!(
+                    "checkpoint already at epoch {} (|IS| = {}); nothing to do",
+                    report.epoch, report.set_size
+                );
+            } else {
+                if report.bootstrapped {
+                    println!("no checkpoint: bootstrapped with greedy");
+                } else {
+                    println!(
+                        "resumed from checkpoint at epoch {} -> epoch {}",
+                        report.resumed_from, report.epoch
+                    );
+                }
+                println!("evicted = {}", report.evicted);
+                println!("|IS| = {}", report.set_size);
+                println!("maintenance scans = {}", report.file_scans);
+                println!("time = {:.2}s", start.elapsed().as_secs_f64());
+                println!(
+                    "verified maximal on edited graph: {}",
+                    report.maximality_proved
+                );
+                if !report.maximality_proved {
+                    return Err("repaired set failed the maximality proof".into());
+                }
+            }
+        }
+        "compact" => {
+            let out = &rest_pos[1]; // presence validated above
+            let start = Instant::now();
+            let report = store.compact(Path::new(out)).map_err(|e| e.to_string())?;
+            println!(
+                "compacted {} ops into {}: {} vertices, {} edges, {} B in {:.2}s",
+                report.merged_ops,
+                out,
+                report.vertices,
+                report.edges,
+                report.bytes,
+                start.elapsed().as_secs_f64()
+            );
+            println!("wal truncated: {}", wal.display());
+        }
+        "status" => {
+            let status = store.status().map_err(|e| e.to_string())?;
+            println!("base: {} ({} B blocks)", base.display(), block_size);
+            println!("  |V| = {}", status.vertices);
+            println!(
+                "  |E| = {} on disk, {} live",
+                status.base_edges, status.live_edges
+            );
+            println!("wal: {} ({} B)", wal.display(), status.wal_bytes);
+            println!(
+                "  epoch {} committed, {} ops awaiting compaction",
+                status.last_epoch, status.committed_ops
+            );
+            match status.checkpoint {
+                Some((epoch, size)) => {
+                    let lag = status.last_epoch.saturating_sub(epoch);
+                    println!("checkpoint: epoch {epoch}, |IS| = {size}, {lag} epochs behind");
+                }
+                None => println!("checkpoint: none (run `mis update apply`)"),
+            }
+        }
+        other => return Err(format!("unknown update action `{other}`")),
+    }
+    println!("io = {}", stats.snapshot());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,5 +803,67 @@ mod tests {
     #[test]
     fn block_size_flag_is_validated() {
         assert!(dispatch(&strs(&["stats", "x.adj", "--block-size", "0"])).is_err());
+    }
+
+    #[test]
+    fn update_round_trip() {
+        let dir = ScratchDir::new("cli-update").unwrap();
+        let base = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "300",
+            "--edges",
+            "600",
+            &base,
+        ]))
+        .unwrap();
+
+        // Status is read-only and works before any edits are logged.
+        dispatch(&strs(&["update", "status", &base])).unwrap();
+        assert!(!dir.file("g.wal").exists(), "status must not create a wal");
+        // Failing invocations must not create one either.
+        assert!(dispatch(&strs(&["update", "frob", &base])).is_err());
+        let bad = dir.file("bad.txt");
+        std::fs::write(&bad, "* 1 2\n").unwrap();
+        assert!(dispatch(&strs(&[
+            "update",
+            "append",
+            &base,
+            "--ops",
+            &bad.display().to_string(),
+        ]))
+        .is_err());
+        assert!(
+            !dir.file("g.wal").exists(),
+            "bad input must not create a wal"
+        );
+        dispatch(&strs(&["update", "apply", &base])).unwrap();
+
+        // Log one epoch of edits from a file and fold it in.
+        let ops = dir.file("edits.txt");
+        std::fs::write(&ops, "# churn\n+ 0 299\n- 0 299\n+ 1 298\n").unwrap();
+        dispatch(&strs(&[
+            "update",
+            "append",
+            &base,
+            "--ops",
+            &ops.display().to_string(),
+        ]))
+        .unwrap();
+        dispatch(&strs(&["update", "apply", &base, "--rounds", "1"])).unwrap();
+        // Idempotent: checkpoint already current.
+        dispatch(&strs(&["update", "apply", &base])).unwrap();
+
+        // Compaction produces a runnable base file.
+        let out = dir.file("g2.adj").display().to_string();
+        dispatch(&strs(&["update", "compact", &base, &out])).unwrap();
+        dispatch(&strs(&["run", &out, "--algo", "greedy"])).unwrap();
+        dispatch(&strs(&["update", "status", &base])).unwrap();
+
+        // Bad inputs are rejected.
+        assert!(dispatch(&strs(&["update", "append", &base])).is_err());
+        assert!(dispatch(&strs(&["update", "compact", &base])).is_err());
     }
 }

@@ -16,6 +16,9 @@
 //!   `TwoKSwap`, plus the `Baseline`, `DynamicUpdate` and time-forward
 //!   processing (`STXXL`-style) comparison points, Algorithm 5's upper
 //!   bound, and an exact solver for small graphs;
+//! * [`update`] — the durable edge-update subsystem: write-ahead edge
+//!   log, independent-set checkpoints, incremental maintenance from the
+//!   last checkpoint, and log compaction;
 //! * [`theory`] — the paper's analytic formulas on `P(α,β)`.
 //!
 //! ## Quickstart
@@ -50,6 +53,7 @@ pub use mis_extmem as extmem;
 pub use mis_gen as gen;
 pub use mis_graph as graph;
 pub use mis_theory as theory;
+pub use mis_update as update;
 
 /// Convenience re-exports covering the common pipeline.
 pub mod prelude {
@@ -58,8 +62,11 @@ pub mod prelude {
         DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs, TwoKSwap,
         DEFAULT_PAGED_THRESHOLD,
     };
+    pub use mis_core::{repair_updated_set, RepairConfig};
     pub use mis_extmem::{IoStats, PagerConfig, PolicyKind, ScratchDir};
     pub use mis_graph::{
-        AdjFile, CsrGraph, GraphScan, NeighborAccess, OrderedCsr, RandomAccessGraph, VertexId,
+        AdjFile, CsrGraph, DeltaGraph, GraphScan, NeighborAccess, OrderedCsr, RandomAccessGraph,
+        VertexId,
     };
+    pub use mis_update::{EdgeOp, UpdateStore};
 }

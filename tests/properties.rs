@@ -255,6 +255,52 @@ proptest! {
     }
 
     #[test]
+    fn delta_edits_match_a_materialised_graph(
+        g in arb_graph(30, 100),
+        edits in proptest::collection::vec((any::<bool>(), 0u32..30, 0u32..30), 0..40),
+    ) {
+        // DeltaGraph insert+delete overlays must scan exactly like a
+        // graph with the edits materialised, for any *valid* edit stream
+        // (inserts name absent edges, deletes name live ones — the
+        // contract the overlay documents and the WAL/churn workloads
+        // uphold). Resurrections (delete then re-insert) are covered.
+        let n = g.num_vertices() as u32;
+        let mut delta = DeltaGraph::new(&g);
+        let mut edges: std::collections::BTreeSet<(u32, u32)> =
+            g.edges().map(|(u, v)| (u.min(v), u.max(v))).collect();
+        for (insert, u, v) in edits {
+            let (u, v) = (u % n, v % n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if insert && edges.insert(key) {
+                delta.insert_edge(u, v);
+            } else if !insert && edges.remove(&key) {
+                delta.delete_edge(u, v);
+            }
+        }
+        let edge_list: Vec<(u32, u32)> = edges.iter().copied().collect();
+        let oracle = CsrGraph::from_edges(g.num_vertices(), &edge_list);
+        prop_assert_eq!(delta.num_edges(), oracle.num_edges());
+        let mut got = vec![Vec::new(); g.num_vertices()];
+        delta.scan(&mut |v, ns| {
+            let mut ns = ns.to_vec();
+            ns.sort_unstable();
+            got[v as usize] = ns;
+        }).unwrap();
+        for v in 0..n {
+            let mut want = oracle.neighbors(v).to_vec();
+            want.sort_unstable();
+            prop_assert_eq!(&got[v as usize], &want, "vertex {}", v);
+        }
+        // And the maintenance pipeline holds on the edited graph.
+        let baseline = Baseline::new().run(&g);
+        let out = repair_updated_set(&delta, &baseline.set, RepairConfig::default());
+        prop_assert!(out.maximality_proved);
+    }
+
+    #[test]
     fn early_stop_is_prefix_of_full_run(g in arb_graph(40, 160)) {
         // Round-limited runs must report a prefix of the full run's
         // per-round gains (the algorithms are deterministic).

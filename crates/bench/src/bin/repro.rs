@@ -4,7 +4,7 @@
 //! repro <experiment>
 //!   table2 table4 table5 table6 table7 table8 table9
 //!   fig6 fig8 fig9 fig10
-//!   io pager churn cascade ablation
+//!   io pager parallel churn cascade ablation
 //!   all        # everything (dataset suite computed once)
 //! ```
 //!
@@ -30,6 +30,7 @@ fn main() {
         "fig10" => fig10::run(),
         "io" => io::run(),
         "pager" => pager::run(),
+        "parallel" => parallel::run(),
         "churn" => churn::run(),
         "cascade" => cascade::run(),
         "ablation" => ablation::run(),
@@ -65,6 +66,8 @@ fn main() {
             println!();
             pager::run();
             println!();
+            parallel::run();
+            println!();
             churn::run();
             println!();
             cascade::run();
@@ -79,7 +82,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|churn|cascade|ablation|bounds|peeling|compress|all>"
+                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|parallel|churn|cascade|ablation|bounds|peeling|compress|all>"
             );
             std::process::exit(2);
         }

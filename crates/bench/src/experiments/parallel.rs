@@ -1,0 +1,256 @@
+//! Parallel execution engine experiment: the two-k workload at 1/2/4/8
+//! worker threads.
+//!
+//! The engine's contract is that the `Parallel` backend changes *how
+//! fast* a pass runs, never *what* it computes: the independent set, the
+//! round trajectory and the maximality proof must be identical at every
+//! thread count. This experiment runs the full two-k pipeline (Greedy
+//! seed → two-k swaps → maximality proof) on one generated power-law
+//! graph, once on the sequential backend and once per worker count, then
+//! asserts the outputs are identical and reports wall-clock, block
+//! transfers and the speedup of 4 workers over 1. The numbers land in
+//! `BENCH_parallel.json` (override with `BENCH_PARALLEL_OUT`) together
+//! with the machine's hardware parallelism — on a single-core container
+//! the speedup hovers around 1.0 by construction; the JSON records the
+//! hardware so downstream tooling can tell "no speedup" from "no cores".
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mis_core::engine::available_threads;
+use mis_core::{prove_maximal_with, Executor, Greedy, SwapConfig, TwoKSwap};
+use mis_extmem::{IoSnapshot, IoStats, ScratchDir, SortConfig};
+use mis_graph::{build_adj_file, degree_sort_adj_file, AdjFile};
+
+use crate::harness;
+
+/// Default output path of the machine-readable results.
+pub const DEFAULT_JSON_PATH: &str = "BENCH_parallel.json";
+
+/// One measured backend configuration.
+struct Side {
+    label: String,
+    threads: usize,
+    is_size: u64,
+    rounds: u32,
+    scans: u64,
+    io: IoSnapshot,
+    wall_ms: f64,
+    maximal: bool,
+}
+
+fn measure(path: &std::path::Path, block_size: usize, executor: Executor) -> Side {
+    // Fresh counters per side so the backends cannot bleed into each
+    // other (IoStats is thread-safe, so the parallel reader tallies into
+    // the same counters the sequential path uses).
+    let stats = IoStats::shared();
+    let file = AdjFile::open_with_block_size(path, Arc::clone(&stats), block_size).expect("open");
+    let start = Instant::now();
+    let greedy = Greedy::with_executor(executor).run(&file);
+    let config = SwapConfig::default().with_executor(executor);
+    let outcome = TwoKSwap::with_config(config).run(&file, &greedy.set);
+    let proof = prove_maximal_with(&file, &outcome.result.set, &executor);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Side {
+        label: executor.describe(),
+        threads: executor.threads(),
+        is_size: outcome.result.set.len() as u64,
+        rounds: outcome.stats.num_rounds(),
+        scans: greedy.file_scans + outcome.result.file_scans + 1, // + proof scan
+        io: stats.snapshot(),
+        wall_ms,
+        maximal: proof.is_maximal_independent(),
+    }
+}
+
+fn side_json(side: &Side) -> String {
+    format!(
+        concat!(
+            "{{\"backend\": \"{}\", \"threads\": {}, \"is_size\": {}, ",
+            "\"rounds\": {}, \"file_scans\": {}, \"blocks_read\": {}, ",
+            "\"bytes_read\": {}, \"maximal\": {}, \"wall_ms\": {:.2}}}"
+        ),
+        side.label,
+        side.threads,
+        side.is_size,
+        side.rounds,
+        side.scans,
+        side.io.blocks_read,
+        side.io.bytes_read,
+        side.maximal,
+        side.wall_ms,
+    )
+}
+
+/// Runs the experiment, prints the comparison and writes the JSON file.
+pub fn run() {
+    let n = harness::sweep_vertices().min(100_000);
+    let block_size = 64 * 1024usize;
+    println!(
+        "== Execution engine: two-k workload across worker counts (P(α,β), β = 2.0, |V| ≈ {n}; \
+         {} hardware threads) ==",
+        available_threads()
+    );
+
+    let graph = mis_gen::Plrg::with_vertices(n, 2.0).seed(42).generate();
+    let scratch = ScratchDir::new("repro-parallel").expect("scratch dir");
+    let build_stats = IoStats::shared();
+    let unsorted = build_adj_file(
+        &graph,
+        &scratch.file("graph.adj"),
+        Arc::clone(&build_stats),
+        block_size,
+    )
+    .expect("build adj file");
+    let sorted = degree_sort_adj_file(
+        &unsorted,
+        &scratch.file("graph.sorted.adj"),
+        &SortConfig {
+            block_size,
+            ..SortConfig::default()
+        },
+        &scratch,
+    )
+    .expect("degree sort");
+    let file_bytes = sorted.disk_bytes().expect("metadata");
+    let path = sorted.path().to_path_buf();
+
+    let mut sides = vec![measure(&path, block_size, Executor::Sequential)];
+    for workers in [1usize, 2, 4, 8] {
+        sides.push(measure(&path, block_size, Executor::parallel(workers)));
+    }
+
+    let rows: Vec<Vec<String>> = sides
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                s.is_size.to_string(),
+                s.rounds.to_string(),
+                s.scans.to_string(),
+                s.io.blocks_read.to_string(),
+                s.maximal.to_string(),
+                format!("{:.1}ms", s.wall_ms),
+            ]
+        })
+        .collect();
+    let header = [
+        "backend",
+        "|IS|",
+        "rounds",
+        "scans",
+        "blocks read",
+        "maximal",
+        "time",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect::<Vec<_>>();
+    harness::print_table(&header, &rows);
+
+    let baseline = &sides[0];
+    for side in &sides[1..] {
+        assert_eq!(
+            side.is_size, baseline.is_size,
+            "{}: thread count must not change |IS|",
+            side.label
+        );
+        assert_eq!(
+            side.rounds, baseline.rounds,
+            "{}: round trajectory",
+            side.label
+        );
+        assert!(side.maximal, "{}: maximality proof must hold", side.label);
+    }
+    // Whole-experiment I/O: fold the per-side snapshots (each measured
+    // against fresh counters) into one total.
+    let mut total_io = IoSnapshot::default();
+    for side in &sides {
+        total_io += side.io;
+    }
+    println!("  total experiment io = {total_io}");
+    let wall_1 = sides
+        .iter()
+        .find(|s| s.label == "par(1)")
+        .expect("par(1)")
+        .wall_ms;
+    let wall_4 = sides
+        .iter()
+        .find(|s| s.label == "par(4)")
+        .expect("par(4)")
+        .wall_ms;
+    let speedup = if wall_4 > 0.0 { wall_1 / wall_4 } else { 1.0 };
+    println!(
+        "  identical |IS| = {} and maximality proof at every worker count; \
+         4-worker speedup over 1 worker: {speedup:.2}x ({} hardware threads)",
+        baseline.is_size,
+        available_threads()
+    );
+
+    let side_list = sides
+        .iter()
+        .map(side_json)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"parallel\",\n",
+            "  \"graph\": {{\"model\": \"plrg\", \"beta\": 2.0, \"seed\": 42, ",
+            "\"vertices\": {}, \"edges\": {}, \"file_bytes\": {}}},\n",
+            "  \"block_size\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"sides\": [\n    {}\n  ],\n",
+            "  \"speedup_4_over_1\": {:.4}\n",
+            "}}\n"
+        ),
+        graph.num_vertices(),
+        graph.num_edges(),
+        file_bytes,
+        block_size,
+        available_threads(),
+        side_list,
+        speedup,
+    );
+    let out_path =
+        std::env::var("BENCH_PARALLEL_OUT").unwrap_or_else(|_| DEFAULT_JSON_PATH.to_string());
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end regression for the acceptance criterion: on a real
+    /// on-disk graph every worker count returns the identical set with
+    /// an intact maximality proof.
+    #[test]
+    fn all_worker_counts_agree_on_disk() {
+        let graph = mis_gen::Plrg::with_vertices(10_000, 2.0).seed(7).generate();
+        let scratch = ScratchDir::new("parallel-exp-test").unwrap();
+        let stats = IoStats::shared();
+        let block_size = 4096;
+        let file = build_adj_file(&graph, &scratch.file("g.adj"), stats, block_size).unwrap();
+        let path = file.path().to_path_buf();
+        let baseline = measure(&path, block_size, Executor::Sequential);
+        assert!(baseline.maximal);
+        for workers in [1usize, 2, 4] {
+            let side = measure(&path, block_size, Executor::parallel(workers));
+            assert_eq!(side.is_size, baseline.is_size, "workers {workers}");
+            assert_eq!(side.rounds, baseline.rounds, "workers {workers}");
+            assert_eq!(side.scans, baseline.scans, "workers {workers}");
+            assert_eq!(
+                side.io.blocks_read, baseline.io.blocks_read,
+                "workers {workers}: same block transfers"
+            );
+            assert!(side.maximal, "workers {workers}");
+        }
+        let fragment = side_json(&baseline);
+        for key in ["backend", "threads", "is_size", "maximal", "wall_ms"] {
+            assert!(fragment.contains(key), "missing {key} in {fragment}");
+        }
+    }
+}

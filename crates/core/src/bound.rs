@@ -12,14 +12,25 @@
 
 use mis_graph::GraphScan;
 
+use crate::engine::Executor;
+
 /// Upper bound for the independence number of `graph`; one sequential
 /// scan, one byte per vertex.
 pub fn upper_bound_scan<G: GraphScan + ?Sized>(graph: &G) -> u64 {
+    upper_bound_scan_with(graph, &Executor::Sequential)
+}
+
+/// [`upper_bound_scan`] on an explicit executor backend.
+///
+/// The star partition is order-dependent (a vertex is a centre iff no
+/// earlier star claimed it), so the pass runs through
+/// [`Executor::fold_ordered`] and is identical on every backend.
+pub fn upper_bound_scan_with<G: GraphScan + ?Sized>(graph: &G, executor: &Executor) -> u64 {
     let n = graph.num_vertices();
     let mut visited = vec![false; n];
     let mut bound: u64 = 0;
-    graph
-        .scan(&mut |v, ns| {
+    executor
+        .fold_ordered(graph, &mut |v, ns| {
             if visited[v as usize] {
                 return;
             }
@@ -47,11 +58,17 @@ pub fn upper_bound_scan<G: GraphScan + ?Sized>(graph: &G) -> u64 {
 /// matching bound wins on cliques and cycles); [`best_upper_bound`]
 /// takes the minimum of both at the cost of a second scan.
 pub fn matching_bound<G: GraphScan + ?Sized>(graph: &G) -> u64 {
+    matching_bound_with(graph, &Executor::Sequential)
+}
+
+/// [`matching_bound`] on an explicit executor backend (order-dependent
+/// greedy matching, hence [`Executor::fold_ordered`]).
+pub fn matching_bound_with<G: GraphScan + ?Sized>(graph: &G, executor: &Executor) -> u64 {
     let n = graph.num_vertices();
     let mut matched = vec![false; n];
     let mut matching_size: u64 = 0;
-    graph
-        .scan(&mut |v, ns| {
+    executor
+        .fold_ordered(graph, &mut |v, ns| {
             if matched[v as usize] {
                 return;
             }
@@ -68,7 +85,12 @@ pub fn matching_bound<G: GraphScan + ?Sized>(graph: &G) -> u64 {
 /// The tighter of [`upper_bound_scan`] and [`matching_bound`] (two
 /// scans).
 pub fn best_upper_bound<G: GraphScan + ?Sized>(graph: &G) -> u64 {
-    upper_bound_scan(graph).min(matching_bound(graph))
+    best_upper_bound_with(graph, &Executor::Sequential)
+}
+
+/// [`best_upper_bound`] on an explicit executor backend.
+pub fn best_upper_bound_with<G: GraphScan + ?Sized>(graph: &G, executor: &Executor) -> u64 {
+    upper_bound_scan_with(graph, executor).min(matching_bound_with(graph, executor))
 }
 
 #[cfg(test)]
@@ -147,6 +169,32 @@ mod tests {
         let best = best_upper_bound(&g);
         assert!(best <= upper_bound_scan(&g));
         assert!(best <= matching_bound(&g));
+    }
+
+    #[test]
+    fn bounds_are_identical_on_every_backend() {
+        let g = mis_gen::plrg::Plrg::with_vertices(1_200, 2.1)
+            .seed(4)
+            .generate();
+        let ordered = OrderedCsr::degree_sorted(&g);
+        for threads in 1..=3 {
+            let exec = Executor::parallel(threads);
+            assert_eq!(
+                upper_bound_scan_with(&ordered, &exec),
+                upper_bound_scan(&ordered),
+                "threads {threads}"
+            );
+            assert_eq!(
+                matching_bound_with(&ordered, &exec),
+                matching_bound(&ordered),
+                "threads {threads}"
+            );
+            assert_eq!(
+                best_upper_bound_with(&ordered, &exec),
+                best_upper_bound(&ordered),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use mis_graph::{GraphScan, VertexId};
 
+use crate::engine::Executor;
 use crate::result::{MemoryModel, MisResult};
 
 /// Per-vertex state of Algorithm 1.
@@ -32,21 +33,34 @@ enum State {
 /// Scans in the storage order of the provided [`GraphScan`]; pair with a
 /// degree-sorted file (or [`mis_graph::OrderedCsr::degree_sorted`]) for
 /// the paper's GREEDY behaviour.
+///
+/// The lazy-exclusion fold is order-dependent (a vertex joins iff no
+/// earlier record excluded it), so the pass runs through
+/// [`Executor::fold_ordered`]: sequential on the default backend, and
+/// read/decode-pipelined — with identical transitions — on a parallel
+/// one.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct Greedy;
+pub struct Greedy {
+    executor: Executor,
+}
 
 impl Greedy {
-    /// Creates the algorithm.
+    /// Creates the algorithm on the sequential backend.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Creates the algorithm on an explicit executor backend.
+    pub fn with_executor(executor: Executor) -> Self {
+        Self { executor }
     }
 
     /// Runs one pass and returns a **maximal** independent set.
     pub fn run<G: GraphScan + ?Sized>(&self, graph: &G) -> MisResult {
         let n = graph.num_vertices();
         let mut state = vec![State::Initial; n];
-        graph
-            .scan(&mut |v, ns| {
+        self.executor
+            .fold_ordered(graph, &mut |v, ns| {
                 if state[v as usize] == State::Initial {
                     state[v as usize] = State::Is;
                     for &u in ns {
@@ -79,17 +93,24 @@ impl Greedy {
 /// without the degree-sort preprocessing. A thin, self-documenting wrapper
 /// around [`Greedy`].
 #[derive(Debug, Clone, Copy, Default)]
-pub struct Baseline;
+pub struct Baseline {
+    executor: Executor,
+}
 
 impl Baseline {
-    /// Creates the algorithm.
+    /// Creates the algorithm on the sequential backend.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Creates the algorithm on an explicit executor backend.
+    pub fn with_executor(executor: Executor) -> Self {
+        Self { executor }
     }
 
     /// Runs one pass in the scan's storage order.
     pub fn run<G: GraphScan + ?Sized>(&self, graph: &G) -> MisResult {
-        Greedy::new().run(graph)
+        Greedy::with_executor(self.executor).run(graph)
     }
 }
 
@@ -154,6 +175,19 @@ mod tests {
     fn empty_graph() {
         let g = CsrGraph::empty(0);
         assert!(Greedy::new().run(&g).set.is_empty());
+    }
+
+    #[test]
+    fn parallel_backend_is_byte_identical() {
+        let g = mis_gen::plrg::Plrg::with_vertices(1_500, 2.0)
+            .seed(11)
+            .generate();
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let seq = Greedy::new().run(&sorted);
+        for threads in 1..=4 {
+            let par = Greedy::with_executor(Executor::parallel(threads)).run(&sorted);
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 
     #[test]

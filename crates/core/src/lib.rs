@@ -19,6 +19,12 @@
 //! The swap algorithms carry per-round instrumentation ([`SwapStats`]) so
 //! the experiment harness can regenerate the paper's Tables 6–8 and
 //! Figure 10 (round counts, early-stop profile, SC size, memory model).
+//!
+//! All scan loops run through the unified execution [`engine`]: a
+//! [`ScanPass`]/[`Executor`] split with a `Sequential` backend (the
+//! paper's verbatim single-threaded access model, the default) and a
+//! block-parallel `Parallel` backend that produces bit-identical results
+//! at any thread count (see the engine-equivalence proptests).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +32,7 @@
 pub mod bound;
 pub mod cover;
 pub mod dynamic;
+pub mod engine;
 pub mod exact;
 pub mod greedy;
 pub mod incremental;
@@ -37,9 +44,13 @@ pub mod tfp;
 pub mod twok;
 pub mod verify;
 
-pub use bound::{best_upper_bound, matching_bound, upper_bound_scan};
+pub use bound::{
+    best_upper_bound, best_upper_bound_with, matching_bound, matching_bound_with, upper_bound_scan,
+    upper_bound_scan_with,
+};
 pub use cover::{cover_from_independent_set, is_vertex_cover, min_vertex_cover};
 pub use dynamic::DynamicUpdate;
+pub use engine::{Executor, ParallelConfig, ScanPass};
 pub use greedy::{Baseline, Greedy};
 pub use incremental::{
     repair_independent_set, repair_updated_set, RepairConfig, RepairOutcome, UpdateRepairOutcome,
@@ -52,4 +63,6 @@ pub use result::{
 };
 pub use tfp::TfpMaximalIs;
 pub use twok::TwoKSwap;
-pub use verify::{is_independent_set, is_maximal_independent_set};
+pub use verify::{
+    is_independent_set, is_maximal_independent_set, prove_maximal, prove_maximal_with, SetProof,
+};

@@ -30,9 +30,70 @@
 
 use mis_graph::{GraphScan, NeighborAccess, VertexId};
 
+use crate::engine::{self, Executor, ScanPass};
 use crate::result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats};
 
 pub(crate) const NONE: u32 = u32::MAX;
+
+/// The initial `A`-state derivation shared by both swap algorithms
+/// (lines 1–3 of Algorithms 2 and 3): for every vertex still `N`, find
+/// its IS neighbours. Each record's verdict reads only the frozen `I`
+/// membership, so the pass is mergeable and parallelises; the caller
+/// applies the collected `(v, w1, w2)` assignments after the scan
+/// (`w2 == NONE` for singletons).
+pub(crate) struct InitCandidates<'a> {
+    state: &'a [S],
+    /// IS-neighbour slots tracked before breaking: 1 for one-k-swap
+    /// (singleton `A` only), 2 for two-k-swap.
+    slots: u32,
+}
+
+impl<'a> InitCandidates<'a> {
+    pub(crate) fn new(state: &'a [S], slots: u32) -> Self {
+        Self { state, slots }
+    }
+}
+
+impl ScanPass for InitCandidates<'_> {
+    type Shard = Vec<(u32, u32, u32)>;
+    type Output = Vec<(u32, u32, u32)>;
+
+    fn new_shard(&self) -> Self::Shard {
+        Vec::new()
+    }
+
+    fn visit(&self, shard: &mut Self::Shard, v: VertexId, ns: &[VertexId]) {
+        if self.state[v as usize] != S::N {
+            return;
+        }
+        let mut count = 0u32;
+        let (mut w1, mut w2) = (NONE, NONE);
+        for &u in ns {
+            if self.state[u as usize] == S::I {
+                count += 1;
+                if w1 == NONE {
+                    w1 = u;
+                } else if w2 == NONE {
+                    w2 = u;
+                }
+                if count > self.slots {
+                    break;
+                }
+            }
+        }
+        if count >= 1 && count <= self.slots {
+            shard.push((v, w1, if count == 2 { w2 } else { NONE }));
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Shard, later: Self::Shard) {
+        into.extend(later);
+    }
+
+    fn finish(&self, shard: Self::Shard) -> Self::Output {
+        shard
+    }
+}
 
 /// Collects one round's paged-path candidates: `Some(list)` sorted into
 /// storage order when an access provider exists and at most
@@ -138,32 +199,19 @@ impl OneKSwap {
             isn[v as usize] = 0; // count slot for IS vertices
         }
         let mut file_scans: u64 = 0;
+        let executor = self.config.executor;
 
-        // Lines 1–3: derive initial A states and ISN counts (one scan).
+        // Lines 1–3: derive initial A states and ISN counts (one
+        // mergeable engine pass).
         file_scans += 1;
-        graph
-            .scan(&mut |v, ns| {
-                if state[v as usize] != S::N {
-                    return;
-                }
-                let mut count = 0u32;
-                let mut is_nbr = NONE;
-                for &u in ns {
-                    if state[u as usize] == S::I {
-                        count += 1;
-                        is_nbr = u;
-                        if count > 1 {
-                            break;
-                        }
-                    }
-                }
-                if count == 1 {
-                    state[v as usize] = S::A;
-                    isn[v as usize] = is_nbr;
-                    isn[is_nbr as usize] += 1;
-                }
-            })
+        let assignments = executor
+            .run_pass(graph, &InitCandidates::new(&state, 1))
             .expect("scan failed");
+        for (v, w, _) in assignments {
+            state[v as usize] = S::A;
+            isn[v as usize] = w;
+            isn[w as usize] += 1;
+        }
 
         let mut stats = SwapStats {
             initial_size: initial.len() as u64,
@@ -220,20 +268,10 @@ impl OneKSwap {
                     _ => {}
                 }
             };
-            match (access, cands) {
-                (Some(acc), Some(cands)) => {
-                    stats.paged_rounds += 1;
-                    for &u in &cands {
-                        acc.with_neighbors(u, &mut |ns| pre_body(u, ns))
-                            .expect("paged read failed");
-                    }
-                }
-                _ => {
-                    file_scans += 1;
-                    graph
-                        .scan(&mut |u, ns| pre_body(u, ns))
-                        .expect("scan failed");
-                }
+            if engine::candidate_pass(&executor, graph, access, cands, &mut pre_body) {
+                stats.paged_rounds += 1;
+            } else {
+                file_scans += 1;
             }
 
             // ---- Swap phase (lines 15–19); in memory, no adjacency. ----
@@ -261,10 +299,12 @@ impl OneKSwap {
                 }
             }
 
-            // ---- Post-swap scan (lines 20–28). ----
+            // ---- Post-swap scan (lines 20–28); order-dependent (0↔1
+            // promotions are visible to later records), so it runs
+            // through the engine's ordered fold. ----
             file_scans += 1;
-            graph
-                .scan(&mut |u, ns| {
+            executor
+                .fold_ordered(graph, &mut |u, ns| {
                     let s = state[u as usize];
                     if s == S::I || s == S::P || s == S::R {
                         return;
@@ -326,7 +366,7 @@ impl OneKSwap {
 
         if self.config.finalize_maximal {
             file_scans += 1;
-            finalize_maximal(graph, &mut state);
+            finalize_maximal(graph, &mut state, &executor);
         }
 
         let set: Vec<VertexId> = (0..n as VertexId)
@@ -355,9 +395,15 @@ impl OneKSwap {
 
 /// One relaxed 0↔1 pass: any vertex with no IS neighbour joins. Never
 /// removes vertices, guarantees maximality (shared with two-k-swap).
-pub(crate) fn finalize_maximal<G: GraphScan + ?Sized>(graph: &G, state: &mut [S]) {
-    graph
-        .scan(&mut |u, ns| {
+/// Order-dependent — a join is visible to later records — so it runs
+/// through the engine's ordered fold.
+pub(crate) fn finalize_maximal<G: GraphScan + ?Sized>(
+    graph: &G,
+    state: &mut [S],
+    executor: &Executor,
+) {
+    executor
+        .fold_ordered(graph, &mut |u, ns| {
             if state[u as usize] != S::I && ns.iter().all(|&nb| state[nb as usize] != S::I) {
                 state[u as usize] = S::I;
             }
@@ -513,6 +559,23 @@ mod tests {
                 plain.result.file_scans - paged.result.file_scans,
                 paged.stats.paged_rounds
             );
+        }
+    }
+
+    #[test]
+    fn parallel_executor_is_byte_identical() {
+        for seed in 0..2 {
+            let g = mis_gen::plrg::Plrg::with_vertices(1_500, 2.0)
+                .seed(seed)
+                .generate();
+            let scan = OrderedCsr::degree_sorted(&g);
+            let greedy = Greedy::new().run(&scan);
+            let seq = OneKSwap::new().run(&scan, &greedy.set);
+            for threads in 1..=4 {
+                let config = SwapConfig::default().with_executor(Executor::parallel(threads));
+                let par = OneKSwap::with_config(config).run(&scan, &greedy.set);
+                assert_eq!(par, seq, "seed {seed}, threads {threads}");
+            }
         }
     }
 

@@ -2,8 +2,10 @@
 
 use mis_graph::VertexId;
 
+use crate::engine::Executor;
+
 /// Output of an independent-set algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MisResult {
     /// The independent set, sorted ascending.
     pub set: Vec<VertexId>,
@@ -77,7 +79,22 @@ pub struct SwapConfig {
     /// count is at most `paged_threshold · |V|`. `0.0` (the default)
     /// keeps every pass a sequential scan, which is the paper's verbatim
     /// access model.
+    ///
+    /// Meaningful values lie in `(0.0, 1.0]`: `1.0` pages every round
+    /// that has an access provider, values around
+    /// [`DEFAULT_PAGED_THRESHOLD`] page the typical post-Greedy rounds
+    /// while keeping dense rounds on the cheaper streaming path. A
+    /// negative, NaN, or `> 1.0` value is rejected by
+    /// [`SwapConfig::validate`]; note that an explicit `0.0` **disables**
+    /// paging entirely — callers that built a page cache should treat it
+    /// as a configuration error rather than silently degenerate paging
+    /// (the CLI does).
     pub paged_threshold: f64,
+    /// Execution backend for the full-scan passes (init, pre-swap,
+    /// post-swap, finalise). [`Executor::Sequential`] (the default) is
+    /// the paper's single-threaded access model; a parallel executor
+    /// produces bit-identical results at any thread count.
+    pub executor: Executor,
 }
 
 /// Default candidate fraction below which a round switches to paged
@@ -99,6 +116,7 @@ impl Default for SwapConfig {
             repromote_n: true,
             finalize_maximal: true,
             paged_threshold: 0.0,
+            executor: Executor::Sequential,
         }
     }
 }
@@ -116,10 +134,9 @@ impl SwapConfig {
     /// Verbatim Algorithm 2 semantics (no `N` re-promotion, no finalise).
     pub fn verbatim() -> Self {
         Self {
-            max_rounds: None,
             repromote_n: false,
             finalize_maximal: false,
-            paged_threshold: 0.0,
+            ..Self::default()
         }
     }
 
@@ -136,6 +153,31 @@ impl SwapConfig {
     pub fn with_paged_threshold(mut self, threshold: f64) -> Self {
         self.paged_threshold = threshold;
         self
+    }
+
+    /// Sets the execution backend for the full-scan passes.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Checks the configuration for degenerate knob values.
+    ///
+    /// Rejects a [`SwapConfig::paged_threshold`] that is NaN, negative,
+    /// or above `1.0` — such values either poison every comparison (NaN)
+    /// or claim a candidate budget larger than the vertex set. `0.0` is
+    /// accepted here because it is the documented "paging disabled"
+    /// default; callers that paired the config with a page cache should
+    /// reject an explicit zero themselves (see the CLI), since a cache
+    /// that is never consulted is almost certainly a mistake.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = self.paged_threshold;
+        if t.is_nan() || !(0.0..=1.0).contains(&t) {
+            return Err(format!(
+                "paged_threshold must lie in [0.0, 1.0] (0 disables paging); got {t}"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -160,7 +202,7 @@ impl RoundStats {
 
 /// Instrumentation of a whole swap run (feeds Tables 7 and 8 and
 /// Figure 10).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SwapStats {
     /// Per-round records, in order.
     pub rounds: Vec<RoundStats>,
@@ -199,7 +241,7 @@ impl SwapStats {
 }
 
 /// A swap-algorithm result: the set plus the per-round statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwapOutcome {
     /// The independent set and resource accounting.
     pub result: MisResult,
@@ -280,5 +322,31 @@ mod tests {
                 .paged_threshold,
             0.5
         );
+        // ... and so is the sequential execution backend.
+        assert_eq!(c.executor, Executor::Sequential);
+        assert_eq!(
+            SwapConfig::default()
+                .with_executor(Executor::parallel(3))
+                .executor
+                .threads(),
+            3
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_thresholds() {
+        assert!(SwapConfig::default().validate().is_ok());
+        assert!(SwapConfig::paged().validate().is_ok());
+        assert!(SwapConfig::default()
+            .with_paged_threshold(1.0)
+            .validate()
+            .is_ok());
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = SwapConfig::default()
+                .with_paged_threshold(bad)
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("paged_threshold"), "{err}");
+        }
     }
 }

@@ -27,7 +27,8 @@
 use mis_graph::hash::{FxHashMap, FxHashSet};
 use mis_graph::{GraphScan, NeighborAccess, VertexId};
 
-use crate::onek::{finalize_maximal, select_paged_candidates, NONE, S};
+use crate::engine;
+use crate::onek::{finalize_maximal, select_paged_candidates, InitCandidates, NONE, S};
 use crate::result::{MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats};
 
 /// Cap on stored candidate pairs per `(w1, w2)` entry. One valid pair is
@@ -137,18 +138,23 @@ impl TwoKSwap {
             run.isn1[v as usize] = 0;
         }
         let mut file_scans: u64 = 0;
+        let executor = self.config.executor;
 
-        // Lines 1–3: initial A states (one or two IS neighbours).
+        // Lines 1–3: initial A states (one or two IS neighbours); one
+        // mergeable engine pass against the frozen I membership.
         file_scans += 1;
-        let rs = &mut run;
-        graph
-            .scan(&mut |v, ns| {
-                if rs.state[v as usize] != S::N {
-                    return;
-                }
-                assign_a_state(rs, v, ns);
-            })
+        let assignments = executor
+            .run_pass(graph, &InitCandidates::new(&run.state, 2))
             .expect("scan failed");
+        for (v, w1, w2) in assignments {
+            run.state[v as usize] = S::A;
+            run.isn1[v as usize] = w1;
+            if w2 == NONE {
+                run.isn1[w1 as usize] += 1;
+            } else {
+                run.isn2[v as usize] = w2;
+            }
+        }
 
         let mut stats = SwapStats {
             initial_size: initial.len() as u64,
@@ -302,20 +308,10 @@ impl TwoKSwap {
                     sc_vertices += 1;
                 }
             };
-            match (access, cands) {
-                (Some(acc), Some(cands)) => {
-                    stats.paged_rounds += 1;
-                    for &u in &cands {
-                        acc.with_neighbors(u, &mut |ns| pre_body(u, ns))
-                            .expect("paged read failed");
-                    }
-                }
-                _ => {
-                    file_scans += 1;
-                    graph
-                        .scan(&mut |u, ns| pre_body(u, ns))
-                        .expect("scan failed");
-                }
+            if engine::candidate_pass(&executor, graph, access, cands, &mut pre_body) {
+                stats.paged_rounds += 1;
+            } else {
+                file_scans += 1;
             }
 
             round.sc_peak_vertices = run.sc_distinct;
@@ -352,7 +348,10 @@ impl TwoKSwap {
                 }
             }
 
-            // ---- Post-swap scan (Algorithm 3 lines 15–23). ----
+            // ---- Post-swap scan (Algorithm 3 lines 15–23);
+            // order-dependent (nominee joins and 0↔1 promotions are
+            // visible to later records), so it runs through the
+            // engine's ordered fold. ----
             file_scans += 1;
             let rs = &mut run;
             let round_ref = &mut round;
@@ -360,8 +359,8 @@ impl TwoKSwap {
             // joining mid-scan can repair the ISN state of *earlier*
             // neighbours (later records re-derive their state anyway).
             let mut seen = vec![false; n];
-            graph
-                .scan(&mut |u, ns| {
+            executor
+                .fold_ordered(graph, &mut |u, ns| {
                     seen[u as usize] = true;
                     let s = rs.state[u as usize];
                     if s == S::I {
@@ -476,7 +475,7 @@ impl TwoKSwap {
 
         if self.config.finalize_maximal {
             file_scans += 1;
-            finalize_maximal(graph, &mut run.state);
+            finalize_maximal(graph, &mut run.state, &executor);
         }
 
         let set: Vec<VertexId> = (0..n as VertexId)
@@ -513,38 +512,6 @@ fn to_conflicted(run: &mut Run, u: u32) {
         }
     }
     run.state[u as usize] = S::C;
-}
-
-/// Derives the `A` state for a non-IS vertex from its current IS
-/// neighbours (shared by the init scan).
-fn assign_a_state(run: &mut Run, v: u32, ns: &[VertexId]) {
-    let mut count = 0u32;
-    let (mut w1, mut w2) = (NONE, NONE);
-    for &u in ns {
-        if run.state[u as usize] == S::I {
-            count += 1;
-            if w1 == NONE {
-                w1 = u;
-            } else if w2 == NONE {
-                w2 = u;
-            } else {
-                break;
-            }
-        }
-    }
-    match count {
-        1 => {
-            run.state[v as usize] = S::A;
-            run.isn1[v as usize] = w1;
-            run.isn1[w1 as usize] += 1;
-        }
-        2 => {
-            run.state[v as usize] = S::A;
-            run.isn1[v as usize] = w1;
-            run.isn2[v as usize] = w2;
-        }
-        _ => {}
-    }
 }
 
 /// Tries to complete a 2-3 swap skeleton with `u` as the third vertex.
@@ -764,6 +731,24 @@ mod tests {
         );
         assert!(is_maximal_independent_set(&g, &out.result.set));
         assert!(out.result.set.len() >= greedy.set.len());
+    }
+
+    #[test]
+    fn parallel_executor_is_byte_identical() {
+        use crate::engine::Executor;
+        for seed in 0..2 {
+            let g = mis_gen::plrg::Plrg::with_vertices(1_500, 2.1)
+                .seed(seed)
+                .generate();
+            let scan = OrderedCsr::degree_sorted(&g);
+            let greedy = Greedy::new().run(&scan);
+            let seq = TwoKSwap::new().run(&scan, &greedy.set);
+            for threads in 1..=4 {
+                let config = SwapConfig::default().with_executor(Executor::parallel(threads));
+                let par = TwoKSwap::with_config(config).run(&scan, &greedy.set);
+                assert_eq!(par, seq, "seed {seed}, threads {threads}");
+            }
+        }
     }
 
     #[test]

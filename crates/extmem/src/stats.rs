@@ -8,6 +8,7 @@
 //! [`crate::BlockWriter`] flush bumps these counters.
 
 use std::fmt;
+use std::ops::AddAssign;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -103,6 +104,40 @@ impl IoStats {
     /// Records one independent-set checkpoint loaded from disk.
     pub fn record_checkpoint_read(&self) {
         self.checkpoints_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a snapshot of counters into this set — the aggregation hook
+    /// for work that was tallied against a *different* `IoStats` (a
+    /// sub-experiment run with fresh counters, a store opened with its
+    /// own stats) and needs to land in one combined total. Note that the
+    /// parallel execution engine does **not** need this: its threads
+    /// share one `Arc<IoStats>` and tally concurrently through the
+    /// atomic counters. Merging is likewise safe from any thread.
+    pub fn merge(&self, delta: &IoSnapshot) {
+        self.blocks_read
+            .fetch_add(delta.blocks_read, Ordering::Relaxed);
+        self.blocks_written
+            .fetch_add(delta.blocks_written, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(delta.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(delta.bytes_written, Ordering::Relaxed);
+        self.scans_started
+            .fetch_add(delta.scans_started, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(delta.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(delta.cache_misses, Ordering::Relaxed);
+        self.cache_evictions
+            .fetch_add(delta.cache_evictions, Ordering::Relaxed);
+        self.wal_bytes_written
+            .fetch_add(delta.wal_bytes_written, Ordering::Relaxed);
+        self.wal_bytes_read
+            .fetch_add(delta.wal_bytes_read, Ordering::Relaxed);
+        self.checkpoints_written
+            .fetch_add(delta.checkpoints_written, Ordering::Relaxed);
+        self.checkpoints_read
+            .fetch_add(delta.checkpoints_read, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -208,6 +243,25 @@ impl IoSnapshot {
                 .checkpoints_read
                 .saturating_sub(earlier.checkpoints_read),
         }
+    }
+}
+
+impl AddAssign for IoSnapshot {
+    /// Counter-wise sum — the inverse of [`IoSnapshot::since`], used to
+    /// aggregate per-phase or per-thread snapshots into one total.
+    fn add_assign(&mut self, rhs: IoSnapshot) {
+        self.blocks_read += rhs.blocks_read;
+        self.blocks_written += rhs.blocks_written;
+        self.bytes_read += rhs.bytes_read;
+        self.bytes_written += rhs.bytes_written;
+        self.scans_started += rhs.scans_started;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.cache_evictions += rhs.cache_evictions;
+        self.wal_bytes_written += rhs.wal_bytes_written;
+        self.wal_bytes_read += rhs.wal_bytes_read;
+        self.checkpoints_written += rhs.checkpoints_written;
+        self.checkpoints_read += rhs.checkpoints_read;
     }
 }
 
@@ -332,6 +386,41 @@ mod tests {
         assert_eq!(delta.checkpoints_written, 1);
         stats.reset();
         assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn add_assign_is_inverse_of_since() {
+        let stats = IoStats::shared();
+        stats.record_block_read(100);
+        stats.record_scan();
+        let first = stats.snapshot();
+        stats.record_block_write(50);
+        stats.record_cache_hit();
+        stats.record_wal_write(7);
+        stats.record_checkpoint_write();
+        let second = stats.snapshot();
+        let mut rebuilt = first;
+        rebuilt += second.since(&first);
+        assert_eq!(rebuilt, second);
+    }
+
+    #[test]
+    fn merge_folds_a_snapshot_into_shared_counters() {
+        let total = IoStats::shared();
+        total.record_block_read(10);
+        let worker = IoStats::shared();
+        worker.record_block_read(20);
+        worker.record_scan();
+        worker.record_cache_miss();
+        total.merge(&worker.snapshot());
+        let snap = total.snapshot();
+        assert_eq!(snap.blocks_read, 2);
+        assert_eq!(snap.bytes_read, 30);
+        assert_eq!(snap.scans_started, 1);
+        assert_eq!(snap.cache_misses, 1);
+        // Merging an empty snapshot is the identity.
+        total.merge(&IoSnapshot::default());
+        assert_eq!(total.snapshot(), snap);
     }
 
     #[test]

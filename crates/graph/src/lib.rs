@@ -48,7 +48,7 @@ pub use compressed::{compress_adj, CompressedAdjFile};
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
 pub use raccess::{NeighborAccess, RandomAccessGraph, RecordIndex};
-pub use scan::{GraphScan, OrderedCsr};
+pub use scan::{GraphScan, OrderedCsr, RecordBlock};
 
 /// Vertex identifier. Graphs with up to `u32::MAX` vertices are supported;
 /// the paper's largest graph (Clueweb12) has 978 million vertices, well

@@ -11,7 +11,7 @@
 //! mis compress <in.adj> <out.cadj>       gap-compress (WebGraph-style)
 //! mis stats    <graph>                   size / degree summary
 //! mis bound    <graph>                   Algorithm 5 + matching upper bounds
-//! mis run      <graph> [--algo A] [--rounds N] [--quiet]
+//! mis run      <graph> [--algo A] [--rounds N] [--quiet] [--threads N]
 //!              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
 //!              A ∈ greedy | baseline | onek | twok | peel | tfp | dynamic
 //! mis update   <append|apply|compact|status> ...   durable edge updates
@@ -30,6 +30,13 @@
 //! pool instead of re-scanning the whole file (`--policy` picks the
 //! eviction policy, `--paged-threshold` the candidate fraction below
 //! which a round goes paged).
+//!
+//! `run`, `stats` and `bound` additionally accept `--threads N` (default:
+//! the machine's available parallelism): with `N > 1` the scan passes run
+//! on the block-parallel execution engine (`mis_core::engine`) — results
+//! are bit-identical to the sequential backend at every thread count.
+//! (`--algo tfp|dynamic` have no engine-ported passes and always run
+//! single-threaded; an explicit `--threads` is noted and ignored there.)
 //!
 //! `<graph>` accepts plain (`MISADJ01`) and compressed (`MISADJC1`)
 //! adjacency files, detected by magic bytes. Every run prints IS size,
@@ -68,10 +75,10 @@ usage: mis <command> ... [--block-size BYTES]
   convert <edges.txt> <out.adj>
   sort <in.adj> <out.adj>
   compress <in.adj> <out.cadj>
-  stats <graph>
-  bound <graph>
+  stats <graph> [--threads N]
+  bound <graph> [--threads N]
   run <graph> [--algo greedy|baseline|onek|twok|peel|tfp|dynamic] [--rounds N]
-              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
+              [--threads N] [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
   update append <base.adj> --ops <file> [--wal F]
          apply <base.adj> [--rounds N] [--wal F] [--checkpoint F]
          compact <base.adj> <out.adj> [--wal F] [--checkpoint F]
@@ -171,6 +178,22 @@ fn opt_block_size(options: &[(String, String)]) -> Result<usize, String> {
         return Err("--block-size must be non-zero".into());
     }
     Ok(block_size)
+}
+
+/// Parses `--threads N` into an executor backend. Defaults to the
+/// machine's available parallelism; `1` is the sequential backend.
+fn opt_executor(options: &[(String, String)]) -> Result<Executor, String> {
+    let threads: usize = opt_parse(options, "threads", engine::available_threads())?;
+    match threads {
+        0 => Err("--threads must be at least 1".into()),
+        1 => Ok(Executor::Sequential),
+        n => Ok(Executor::parallel(n)),
+    }
+}
+
+/// Prints the shared I/O counter summary every subcommand ends with.
+fn print_io_summary(stats: &IoStats) {
+    println!("io = {}", stats.snapshot());
 }
 
 fn write_graph(
@@ -292,31 +315,19 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [input] = pos.as_slice() else {
         return Err("stats needs: <graph>".into());
     };
+    let executor = opt_executor(&opts)?;
     let stats = IoStats::shared();
     let file = AnyFile::open(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
     let scan = file.scan_ref();
     let n = scan.num_vertices();
-    let mut max_deg = 0usize;
-    let mut isolated = 0u64;
-    let mut degree_sum = 0u64;
-    let mut pendant = 0u64;
-    scan.scan(&mut |_, ns| {
-        max_deg = max_deg.max(ns.len());
-        degree_sum += ns.len() as u64;
-        match ns.len() {
-            0 => isolated += 1,
-            1 => pendant += 1,
-            _ => {}
-        }
-    })
-    .map_err(|e| e.to_string())?;
+    let degrees = engine::passes::degree_stats(scan, &executor);
     println!("{input} ({}):", scan.storage());
     println!("  |V| = {n}");
     println!("  |E| = {}", scan.num_edges());
-    println!("  avg degree = {:.2}", degree_sum as f64 / n.max(1) as f64);
-    println!("  max degree = {max_deg}");
-    println!("  isolated vertices = {isolated}");
-    println!("  pendant vertices  = {pendant}");
+    println!("  avg degree = {:.2}", degrees.avg_degree());
+    println!("  max degree = {}", degrees.max_degree);
+    println!("  isolated vertices = {}", degrees.isolated);
+    println!("  pendant vertices  = {}", degrees.pendant);
     Ok(())
 }
 
@@ -325,11 +336,12 @@ fn cmd_bound(args: &[String]) -> Result<(), String> {
     let [input] = pos.as_slice() else {
         return Err("bound needs: <graph>".into());
     };
+    let executor = opt_executor(&opts)?;
     let stats = IoStats::shared();
     let file = AnyFile::open(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
     let scan = file.scan_ref();
-    let star = upper_bound_scan(scan);
-    let matching = semi_mis::algo::matching_bound(scan);
+    let star = semi_mis::algo::upper_bound_scan_with(scan, &executor);
+    let matching = semi_mis::algo::matching_bound_with(scan, &executor);
     println!("Algorithm 5 (star partition): {star}");
     println!("matching bound (|V| - |M|):   {matching}");
     println!("best: {}", star.min(matching));
@@ -344,6 +356,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let algo = opt(&opts, "algo").unwrap_or("twok");
     let rounds: u32 = opt_parse(&opts, "rounds", 0)?;
     let block_size = opt_block_size(&opts)?;
+    let mut executor = opt_executor(&opts)?;
+    // `tfp` (external priority queues) and `dynamic` (in-memory) have no
+    // engine-ported scan passes; run them — and report them — as
+    // sequential rather than pretending `--threads` applies.
+    if matches!(algo, "tfp" | "dynamic") && executor != Executor::Sequential {
+        if opt(&opts, "threads").is_some() {
+            println!("note: --algo {algo} runs single-threaded; ignoring --threads");
+        }
+        executor = Executor::Sequential;
+    }
     let cache_mb: u64 = opt_parse(&opts, "cache-mb", 0)?;
     let policy: PolicyKind = match opt(&opts, "policy") {
         None => PolicyKind::default(),
@@ -354,11 +376,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     {
         return Err("--policy and --paged-threshold require --cache-mb".into());
     }
+    if cache_mb > 0 && paged_threshold == 0.0 {
+        // A zero threshold silently disables the paged path: the cache
+        // would be built but never consulted.
+        return Err(
+            "--paged-threshold 0 disables paging entirely; with --cache-mb pick a value \
+             in (0, 1] (the default is 0.3)"
+                .into(),
+        );
+    }
     let mut config = if rounds > 0 {
         SwapConfig::early_stop(rounds)
     } else {
         SwapConfig::default()
     };
+    config = config.with_executor(executor);
     let quiet = opt(&opts, "quiet").is_some();
 
     let stats = IoStats::shared();
@@ -378,6 +410,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             );
         };
         config.paged_threshold = paged_threshold;
+        config.validate()?;
         let pc = PagerConfig::with_capacity_bytes(cache_mb << 20, block_size, policy);
         pager_config = Some(pc);
         Some(RandomAccessGraph::open(adj, pc).map_err(|e| e.to_string())?)
@@ -391,11 +424,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut paged_rounds = None;
     let (set, scans, memory) = match algo {
         "greedy" | "baseline" => {
-            let r = Greedy::new().run(scan);
+            let r = Greedy::with_executor(executor).run(scan);
             (r.set, r.file_scans, r.memory)
         }
         "onek" => {
-            let g = Greedy::new().run(scan);
+            let g = Greedy::with_executor(executor).run(scan);
             let o = OneKSwap::with_config(config).run_paged(scan, access, &g.set);
             paged_rounds = Some(o.stats.paged_rounds);
             (
@@ -405,7 +438,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             )
         }
         "twok" => {
-            let g = Greedy::new().run(scan);
+            let g = Greedy::with_executor(executor).run(scan);
             let o = TwoKSwap::with_config(config).run_paged(scan, access, &g.set);
             paged_rounds = Some(o.stats.paged_rounds);
             (
@@ -449,13 +482,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let elapsed = start.elapsed();
 
-    let independent = is_independent_set(scan, &set);
-    let maximal = is_maximal_independent_set(scan, &set);
+    let proof = prove_maximal_with(scan, &set, &executor);
+    let (independent, maximal) = (proof.independent, proof.maximal);
     println!("algorithm = {algo}");
     println!("|IS| = {}", set.len());
     println!("time = {:.2}s", elapsed.as_secs_f64());
     println!("algorithm scans = {scans}");
     println!("block size = {block_size} B");
+    println!(
+        "executor = {} ({} threads)",
+        executor.describe(),
+        executor.threads()
+    );
     if let Some(pc) = pager_config {
         println!(
             "page cache = {} MiB ({} frames of {} B, {} eviction), paged threshold {:.2}",
@@ -468,7 +506,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("paged rounds = {}", paged_rounds.unwrap_or(0));
     }
     println!("modelled memory = {} B", memory.total());
-    println!("io = {}", stats.snapshot());
+    print_io_summary(&stats);
     println!("verified: independent = {independent}, maximal = {maximal}");
     if !independent {
         return Err("result failed verification".into());
@@ -575,7 +613,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
             Some(c) => println!("checkpoint: epoch {}, |IS| = {}", c.epoch, c.set.len()),
             None => println!("checkpoint: none (run `mis update apply`)"),
         }
-        println!("io = {}", stats.snapshot());
+        print_io_summary(&stats);
         return Ok(());
     }
 
@@ -676,7 +714,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown update action `{other}`")),
     }
-    println!("io = {}", stats.snapshot());
+    print_io_summary(&stats);
     Ok(())
 }
 
@@ -803,6 +841,71 @@ mod tests {
     #[test]
     fn block_size_flag_is_validated() {
         assert!(dispatch(&strs(&["stats", "x.adj", "--block-size", "0"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_round_trip() {
+        let dir = ScratchDir::new("cli-threads").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "plrg",
+            "--vertices",
+            "1500",
+            "--beta",
+            "2.0",
+            &out,
+        ]))
+        .unwrap();
+        // The whole pipeline on the parallel backend.
+        dispatch(&strs(&["stats", &out, "--threads", "4"])).unwrap();
+        dispatch(&strs(&["bound", &out, "--threads", "4"])).unwrap();
+        dispatch(&strs(&["run", &out, "--algo", "twok", "--threads", "4"])).unwrap();
+        dispatch(&strs(&["run", &out, "--algo", "greedy", "--threads", "2"])).unwrap();
+        // --threads 1 is the sequential backend; 0 is rejected.
+        dispatch(&strs(&["run", &out, "--threads", "1", "--rounds", "1"])).unwrap();
+        assert!(dispatch(&strs(&["run", &out, "--threads", "0"])).is_err());
+        assert!(dispatch(&strs(&["run", &out, "--threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn degenerate_paged_threshold_is_rejected() {
+        let dir = ScratchDir::new("cli-threshold").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "300",
+            "--edges",
+            "600",
+            &out,
+        ]))
+        .unwrap();
+        // Zero silently disables the paging the user asked for.
+        let err = dispatch(&strs(&[
+            "run",
+            &out,
+            "--cache-mb",
+            "1",
+            "--paged-threshold",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("disables paging"), "{err}");
+        // Out-of-range values are caught by SwapConfig::validate.
+        for bad in ["1.5", "-0.2", "NaN"] {
+            let err = dispatch(&strs(&[
+                "run",
+                &out,
+                "--cache-mb",
+                "1",
+                "--paged-threshold",
+                bad,
+            ]))
+            .unwrap_err();
+            assert!(err.contains("paged_threshold"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub use mis_update as update;
 /// Convenience re-exports covering the common pipeline.
 pub mod prelude {
     pub use mis_core::{
-        degree_order, is_independent_set, is_maximal_independent_set, upper_bound_scan, Baseline,
-        DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs, TwoKSwap,
-        DEFAULT_PAGED_THRESHOLD,
+        degree_order, engine, is_independent_set, is_maximal_independent_set, prove_maximal,
+        prove_maximal_with, upper_bound_scan, Baseline, DynamicUpdate, Executor, Greedy, OneKSwap,
+        ParallelConfig, SwapConfig, TfpMaximalIs, TwoKSwap, DEFAULT_PAGED_THRESHOLD,
     };
     pub use mis_core::{repair_updated_set, RepairConfig};
     pub use mis_extmem::{IoStats, PagerConfig, PolicyKind, ScratchDir};

@@ -36,7 +36,7 @@ fn main() {
         "ablation" => ablation::run(),
         "bounds" => extensions::bounds(),
         "peeling" => extensions::peeling(),
-        "compress" => extensions::compression(),
+        "compress" => compress::run(),
         "all" => {
             table4::run();
             println!();
@@ -78,7 +78,7 @@ fn main() {
             println!();
             extensions::peeling();
             println!();
-            extensions::compression();
+            compress::run();
         }
         _ => {
             eprintln!(

@@ -1,13 +1,12 @@
 //! Extension experiments beyond the paper's evaluation: upper-bound
-//! tightness, reducing-peeling effectiveness, and compressed-file I/O.
-
-use std::sync::Arc;
+//! tightness and reducing-peeling effectiveness. (Compressed-file I/O
+//! graduated into the full `repro compress` experiment,
+//! `crate::experiments::compress`.)
 
 use mis_core::peeling::peel;
 use mis_core::{matching_bound, upper_bound_scan, Greedy, SwapConfig, TwoKSwap};
-use mis_extmem::{IoStats, ScratchDir};
 use mis_gen::DATASETS;
-use mis_graph::{build_adj_file, compress_adj, GraphScan, OrderedCsr};
+use mis_graph::OrderedCsr;
 
 use crate::harness;
 
@@ -86,50 +85,4 @@ pub fn peeling() {
     println!(
         "  power-law fringes peel heavily; peel+solve matches plain two-k with a smaller kernel"
     );
-}
-
-/// Compression ratios and scan block counts, plain vs compressed files.
-pub fn compression() {
-    let scale = mis_gen::datasets::env_scale();
-    println!("== Gap-compressed adjacency files (REPRO_SCALE={scale}) ==");
-    let header = [
-        "Data Set",
-        "plain bytes",
-        "compressed",
-        "ratio",
-        "plain scan blk",
-        "comp scan blk",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect::<Vec<_>>();
-    let mut rows = Vec::new();
-    let block = 64 * 1024usize;
-    for d in DATASETS.iter().take(5) {
-        let g = d.generate(scale);
-        let scratch = ScratchDir::new("repro-compress").expect("scratch");
-        let stats = IoStats::shared();
-        let plain =
-            build_adj_file(&g, &scratch.file("g.adj"), Arc::clone(&stats), block).expect("build");
-        let comp =
-            compress_adj(&g, &scratch.file("g.cadj"), Arc::clone(&stats), block).expect("compress");
-        let plain_bytes = plain.disk_bytes().expect("meta");
-        let comp_bytes = comp.disk_bytes().expect("meta");
-        let before = stats.snapshot();
-        plain.scan(&mut |_, _| {}).expect("scan");
-        let plain_blocks = stats.snapshot().since(&before).blocks_read;
-        let before = stats.snapshot();
-        comp.scan(&mut |_, _| {}).expect("scan");
-        let comp_blocks = stats.snapshot().since(&before).blocks_read;
-        rows.push(vec![
-            d.name.to_string(),
-            plain_bytes.to_string(),
-            comp_bytes.to_string(),
-            format!("{:.2}x", plain_bytes as f64 / comp_bytes as f64),
-            plain_blocks.to_string(),
-            comp_blocks.to_string(),
-        ]);
-    }
-    harness::print_table(&header, &rows);
-    println!("  every sequential scan moves proportionally fewer blocks on the compressed file");
 }

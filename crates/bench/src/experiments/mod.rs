@@ -6,6 +6,7 @@
 pub mod ablation;
 pub mod cascade;
 pub mod churn;
+pub mod compress;
 pub mod datasets;
 pub mod extensions;
 pub mod fig10;

@@ -59,7 +59,7 @@ pub use onek::OneKSwap;
 pub use order::degree_order;
 pub use peeling::{peel, peel_and_solve};
 pub use result::{
-    MemoryModel, MisResult, RoundStats, SwapConfig, SwapStats, DEFAULT_PAGED_THRESHOLD,
+    MemoryModel, MisResult, RoundStats, SwapConfig, SwapOutcome, SwapStats, DEFAULT_PAGED_THRESHOLD,
 };
 pub use tfp::TfpMaximalIs;
 pub use twok::TwoKSwap;

@@ -32,6 +32,29 @@ pub fn write_varint<W: Write>(w: &mut W, mut value: u64) -> io::Result<usize> {
     Ok(i)
 }
 
+/// Encodes `value` as a **fixed-width** LEB128 of exactly
+/// [`MAX_VARINT_BYTES`] bytes, padding with redundant continuation
+/// groups. [`read_varint`] decodes it like any other varint, so the
+/// encoding is wire-compatible — but because the width never depends on
+/// the value, a field written this way can be **patched in place** after
+/// the fact (the compressed adjacency writer uses this for the `|E|`
+/// header it can only know once every record is deduplicated).
+pub fn encode_varint_padded(value: u64) -> [u8; MAX_VARINT_BYTES] {
+    let mut buf = [0u8; MAX_VARINT_BYTES];
+    for (i, byte) in buf.iter_mut().enumerate().take(MAX_VARINT_BYTES - 1) {
+        *byte = ((value >> (7 * i)) & 0x7F) as u8 | 0x80;
+    }
+    buf[MAX_VARINT_BYTES - 1] = (value >> (7 * (MAX_VARINT_BYTES - 1))) as u8;
+    buf
+}
+
+/// Writes `value` via [`encode_varint_padded`] (always
+/// [`MAX_VARINT_BYTES`] bytes).
+pub fn write_varint_padded<W: Write>(w: &mut W, value: u64) -> io::Result<usize> {
+    w.write_all(&encode_varint_padded(value))?;
+    Ok(MAX_VARINT_BYTES)
+}
+
 /// Reads one LEB128 value.
 pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut value: u64 = 0;
@@ -119,6 +142,23 @@ mod tests {
         let mut buf = Vec::new();
         assert_eq!(write_varint(&mut buf, 127).unwrap(), 1);
         assert_eq!(write_varint(&mut buf, 128).unwrap(), 2);
+    }
+
+    #[test]
+    fn padded_varint_round_trips_and_is_fixed_width() {
+        for v in [0u64, 1, 127, 128, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            assert_eq!(write_varint_padded(&mut buf, v).unwrap(), MAX_VARINT_BYTES);
+            assert_eq!(buf.len(), MAX_VARINT_BYTES, "value {v}");
+            assert_eq!(read_varint(&mut Cursor::new(&buf)).unwrap(), v, "value {v}");
+        }
+        // In-place patching: overwrite the bytes, decode the new value.
+        let mut buf = encode_varint_padded(7).to_vec();
+        buf.copy_from_slice(&encode_varint_padded(u64::from(u32::MAX) + 5));
+        assert_eq!(
+            read_varint(&mut Cursor::new(&buf)).unwrap(),
+            u64::from(u32::MAX) + 5
+        );
     }
 
     #[test]

@@ -46,8 +46,12 @@ pub const HEADER_BYTES: usize = 8 + 8 + 8;
 #[derive(Debug)]
 pub struct AdjFileWriter {
     writer: BlockWriter<File>,
+    path: PathBuf,
     expected_vertices: u64,
+    expected_edges: u64,
     written: u64,
+    /// Directed neighbour entries written so far.
+    entries: u64,
     scratch: Vec<u8>,
     /// `Some` only for indexed writers: offsets[v] = byte offset of v's
     /// record (u64::MAX until written).
@@ -95,8 +99,11 @@ impl AdjFileWriter {
         codec::write_u64(&mut writer, num_edges)?;
         Ok(Self {
             writer,
+            path: path.to_path_buf(),
             expected_vertices: num_vertices,
+            expected_edges: num_edges,
             written: 0,
+            entries: 0,
             scratch: Vec::new(),
             offsets: indexed.then(|| vec![u64::MAX; num_vertices as usize]),
             cursor: HEADER_BYTES as u64,
@@ -116,6 +123,7 @@ impl AdjFileWriter {
         codec::write_u32(&mut self.writer, neighbors.len() as u32)?;
         codec::write_u32_slice(&mut self.writer, neighbors, &mut self.scratch)?;
         self.written += 1;
+        self.entries += neighbors.len() as u64;
         self.cursor += 8 + 4 * neighbors.len() as u64;
         Ok(())
     }
@@ -133,11 +141,19 @@ impl AdjFileWriter {
         Ok(())
     }
 
-    /// Flushes and validates that exactly `|V|` records were written.
-    pub fn finish(self) -> io::Result<()> {
+    /// Flushes, validates that exactly `|V|` records were written, and
+    /// reconciles the `|E|` header with the directed entries actually
+    /// written — a caller whose announced edge count drifted from the
+    /// records it emitted (e.g. an update overlay replaying an invalid
+    /// edit stream) gets the header patched in place rather than left
+    /// lying. Returns the true undirected edge count.
+    ///
+    /// Fails when the directed entry total is odd (an asymmetric source:
+    /// some edge was recorded on one endpoint only), since no undirected
+    /// edge count could describe such a file.
+    pub fn finish(self) -> io::Result<u64> {
         self.check_complete()?;
-        self.writer.finish()?;
-        Ok(())
+        self.finish_common()
     }
 
     /// Like [`AdjFileWriter::finish`], but also returns the per-vertex
@@ -147,9 +163,9 @@ impl AdjFileWriter {
     /// Fails if any vertex in `0..|V|` never received a record (possible
     /// even with a correct record *count*, via duplicate or out-of-range
     /// vertex ids) — such an index would misdirect every random access.
-    pub fn finish_indexed(self) -> io::Result<RecordIndex> {
+    pub fn finish_indexed(mut self) -> io::Result<RecordIndex> {
         self.check_complete()?;
-        let offsets = self.offsets.ok_or_else(|| {
+        let offsets = self.offsets.take().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "writer was not created with create_indexed",
@@ -161,8 +177,30 @@ impl AdjFileWriter {
                 format!("no record was written for vertex {missing}"),
             ));
         }
-        self.writer.finish()?;
+        self.finish_common()?;
         Ok(RecordIndex::from_offsets(offsets))
+    }
+
+    fn finish_common(self) -> io::Result<u64> {
+        if !self.entries.is_multiple_of(2) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "asymmetric adjacency records: {} directed entries cannot form \
+                     undirected edges",
+                    self.entries
+                ),
+            ));
+        }
+        let true_edges = self.entries / 2;
+        self.writer.finish()?;
+        if true_edges != self.expected_edges {
+            use std::io::{Seek, SeekFrom};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.seek(SeekFrom::Start(16))? /* magic (8) + |V| (8) */;
+            f.write_all(&true_edges.to_le_bytes())?;
+        }
+        Ok(true_edges)
     }
 }
 
@@ -311,6 +349,32 @@ mod tests {
         std::fs::write(&path, b"NOTANADJFILE____________").unwrap();
         let err = AdjFile::open(&path, IoStats::shared()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn drifted_edge_header_is_patched_on_finish() {
+        let dir = ScratchDir::new("adj-drift").unwrap();
+        let stats = IoStats::shared();
+        let path = dir.file("d.adj");
+        // Announce 9 edges, write 1: the header must not be left lying.
+        let mut w = AdjFileWriter::create(&path, 2, 9, Arc::clone(&stats), 256).unwrap();
+        w.write_record(0, &[1]).unwrap();
+        w.write_record(1, &[0]).unwrap();
+        assert_eq!(w.finish().unwrap(), 1);
+        let file = AdjFile::open(&path, stats).unwrap();
+        assert_eq!(file.num_edges(), 1);
+    }
+
+    #[test]
+    fn asymmetric_records_are_rejected_on_finish() {
+        let dir = ScratchDir::new("adj-asym").unwrap();
+        let mut w =
+            AdjFileWriter::create(&dir.file("a.adj"), 2, 1, IoStats::shared(), 256).unwrap();
+        w.write_record(0, &[1]).unwrap();
+        w.write_record(1, &[]).unwrap(); // edge (0,1) missing its mirror
+        let err = w.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("asymmetric"), "{err}");
     }
 
     #[test]

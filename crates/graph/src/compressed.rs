@@ -5,43 +5,200 @@
 //!
 //! ```text
 //! magic   "MISADJC1"          8 bytes
-//! |V|     u64
-//! |E|     u64
+//! |V|     varint
+//! |E|     fixed-width varint  10 bytes (patchable in place, see below)
 //! record* |V| times:
 //!     vertex   varint
 //!     degree   varint
 //!     nbrs     ascending gap-coded varints (see mis_extmem::varint)
 //! ```
 //!
-//! Neighbour lists are stored sorted by **id** (gap coding needs
-//! monotonicity), which differs from the uncompressed [`crate::AdjFile`]
-//! convention of neighbour-degree order. The scan-order of *records* is
-//! preserved, which is what the algorithms' correctness and conflict
-//! resolution depend on; neighbour order within a record only affects the
-//! greedy tie-breaking inside Algorithm 5's star choice, not any
-//! invariant. On the paper's power-law analogues the compressed file is
-//! ~2–3× smaller, so every scan moves proportionally fewer blocks.
+//! The `|E|` header is written as a **fixed-width padded varint**
+//! ([`mis_extmem::varint::write_varint_padded`]): the writer sorts and
+//! deduplicates each neighbour list (gap coding needs strict
+//! monotonicity), so the true undirected edge count is only known after
+//! the last record — [`CompressedAdjWriter::finish`] counts the entries
+//! actually written and patches the header in place when a multigraph
+//! source made the original `|E|` a lie. Readers decode the padded field
+//! like any other varint, so older compact-width files stay readable.
+//!
+//! Neighbour lists are stored sorted by **id**, which differs from the
+//! uncompressed [`crate::AdjFile`] convention of neighbour-degree order.
+//! The scan-order of *records* is preserved, which is what the
+//! algorithms' correctness and conflict resolution depend on; neighbour
+//! order within a record only affects greedy tie-breaking inside
+//! Algorithm 5's star choice, not any invariant. On the paper's
+//! power-law analogues the compressed file is ~2–3× smaller, so every
+//! scan moves proportionally fewer blocks.
+//!
+//! ## Random access: the record index
+//!
+//! Compressed records are variable-width, so the paged access path
+//! (`mis run --cache-mb`) needs a [`CompressedRecordIndex`]: one
+//! `(byte offset, byte length)` pair per vertex — `12|V|` bytes, within
+//! the semi-external `O(|V|)` budget. It is built for free at write time
+//! ([`CompressedAdjWriter::create_indexed`] +
+//! [`CompressedAdjWriter::finish_indexed`]) or by one accounted scan
+//! ([`CompressedRecordIndex::build`]). Knowing each record's length up
+//! front lets [`crate::RandomAccessGraph`] fetch exactly the record's
+//! bytes through the buffer pool and decode them in memory — the same
+//! one-pin-per-page cost profile as the plain format.
 
 use std::fs::File;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use mis_extmem::varint::{read_ascending_gaps, read_varint, write_ascending_gaps, write_varint};
+use mis_extmem::varint::{
+    encode_varint_padded, read_ascending_gaps, read_varint, write_ascending_gaps, write_varint,
+    write_varint_padded,
+};
 use mis_extmem::{BlockReader, BlockWriter, IoStats, DEFAULT_BLOCK_SIZE};
 
-use crate::scan::GraphScan;
+use crate::scan::{GraphScan, RecordBlock};
 use crate::VertexId;
 
 const MAGIC: &[u8; 8] = b"MISADJC1";
 
+/// Per-vertex byte offsets and lengths of records within a
+/// [`CompressedAdjFile`] — the compressed counterpart of
+/// [`crate::RecordIndex`]. Records are variable-width, so the length is
+/// stored explicitly instead of being derivable from the header.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedRecordIndex {
+    offsets: Vec<u64>,
+    lens: Vec<u32>,
+}
+
+impl CompressedRecordIndex {
+    /// Wraps raw per-vertex `(offset, length)` columns.
+    ///
+    /// # Panics
+    /// If the columns differ in length.
+    pub fn from_parts(offsets: Vec<u64>, lens: Vec<u32>) -> Self {
+        assert_eq!(offsets.len(), lens.len(), "index columns must align");
+        Self { offsets, lens }
+    }
+
+    /// Builds the index with one accounted sequential scan of `file`.
+    pub fn build(file: &CompressedAdjFile) -> io::Result<Self> {
+        file.stats.record_scan();
+        let n = file.num_vertices();
+        let mut offsets = vec![u64::MAX; n];
+        let mut lens = vec![0u32; n];
+        let mut reader = file.validated_reader()?;
+        let mut scratch: Vec<VertexId> = Vec::new();
+        for _ in 0..n {
+            let start = reader.pos();
+            let vertex = read_vertex(&mut reader)?;
+            let degree = read_varint(&mut reader)? as usize;
+            scratch.clear();
+            read_ascending_gaps(&mut reader, &mut scratch, degree)?;
+            let slot = offsets.get_mut(vertex as usize).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("record for vertex {vertex} out of range ({n} vertices)"),
+                )
+            })?;
+            if *slot != u64::MAX {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("duplicate record for vertex {vertex}"),
+                ));
+            }
+            *slot = start;
+            lens[vertex as usize] = (reader.pos() - start) as u32;
+        }
+        Ok(Self { offsets, lens })
+    }
+
+    /// Byte offset of `v`'s record from the start of the file.
+    pub fn offset(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// Byte length of `v`'s record.
+    pub fn record_len(&self, v: VertexId) -> u32 {
+        self.lens[v as usize]
+    }
+
+    /// Number of indexed vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Resident bytes of the index itself (8 offset + 4 length per
+    /// vertex), for the memory model.
+    pub fn index_bytes(&self) -> u64 {
+        12 * self.offsets.len() as u64
+    }
+
+    /// Splits the index into its `(offsets, lengths)` columns.
+    pub fn into_parts(self) -> (Vec<u64>, Vec<u32>) {
+        (self.offsets, self.lens)
+    }
+}
+
+/// Counts bytes consumed from an inner reader, so the index builder can
+/// recover file offsets from a purely sequential decode.
+struct CountingReader<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, pos: 0 }
+    }
+
+    fn pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// Decodes one vertex-id varint, rejecting values beyond the id space.
+fn read_vertex<R: Read>(r: &mut R) -> io::Result<VertexId> {
+    let raw = read_varint(r)?;
+    VertexId::try_from(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "vertex id overflows u32"))
+}
+
 /// Streaming writer for compressed adjacency files.
+///
+/// [`CompressedAdjWriter::create_indexed`] additionally tracks each
+/// record's byte offset and length, so the [`CompressedRecordIndex`]
+/// comes for free at [`CompressedAdjWriter::finish_indexed`] instead of
+/// costing a rebuild scan.
 #[derive(Debug)]
 pub struct CompressedAdjWriter {
     writer: BlockWriter<File>,
-    expected: u64,
+    path: PathBuf,
+    expected_records: u64,
+    expected_edges: u64,
     written: u64,
+    /// Directed neighbour entries actually written, post sort+dedup.
+    entries: u64,
+    /// Byte offset of the fixed-width `|E|` header field.
+    edges_field_offset: u64,
+    cursor: u64,
     scratch: Vec<VertexId>,
+    /// `Some` only for indexed writers: per-vertex record offsets
+    /// (`u64::MAX` until written) and lengths.
+    offsets: Option<Vec<u64>>,
+    lens: Option<Vec<u32>>,
 }
 
 impl CompressedAdjWriter {
@@ -53,45 +210,150 @@ impl CompressedAdjWriter {
         stats: Arc<IoStats>,
         block_size: usize,
     ) -> io::Result<Self> {
+        Self::create_inner(path, num_vertices, num_edges, stats, block_size, false)
+    }
+
+    /// Like [`CompressedAdjWriter::create`], but also tracks per-vertex
+    /// record offsets and lengths (`12|V|` extra bytes) for
+    /// [`CompressedAdjWriter::finish_indexed`].
+    pub fn create_indexed(
+        path: &Path,
+        num_vertices: u64,
+        num_edges: u64,
+        stats: Arc<IoStats>,
+        block_size: usize,
+    ) -> io::Result<Self> {
+        Self::create_inner(path, num_vertices, num_edges, stats, block_size, true)
+    }
+
+    fn create_inner(
+        path: &Path,
+        num_vertices: u64,
+        num_edges: u64,
+        stats: Arc<IoStats>,
+        block_size: usize,
+        indexed: bool,
+    ) -> io::Result<Self> {
         let file = File::create(path)?;
         let mut writer = BlockWriter::with_block_size(file, stats, block_size);
         writer.write_all(MAGIC)?;
-        write_varint(&mut writer, num_vertices)?;
-        write_varint(&mut writer, num_edges)?;
+        let v_bytes = write_varint(&mut writer, num_vertices)?;
+        let edges_field_offset = 8 + v_bytes as u64;
+        let e_bytes = write_varint_padded(&mut writer, num_edges)?;
         Ok(Self {
             writer,
-            expected: num_vertices,
+            path: path.to_path_buf(),
+            expected_records: num_vertices,
+            expected_edges: num_edges,
             written: 0,
+            entries: 0,
+            edges_field_offset,
+            cursor: edges_field_offset + e_bytes as u64,
             scratch: Vec::new(),
+            offsets: indexed.then(|| vec![u64::MAX; num_vertices as usize]),
+            lens: indexed.then(|| vec![0u32; num_vertices as usize]),
         })
     }
 
-    /// Appends one record; `neighbors` in any order (sorted internally).
+    /// Appends one record; `neighbors` in any order (sorted and
+    /// deduplicated internally — the entry count that lands on disk is
+    /// what [`CompressedAdjWriter::finish`] validates `|E|` against).
     pub fn write_record(&mut self, vertex: VertexId, neighbors: &[VertexId]) -> io::Result<()> {
         self.scratch.clear();
         self.scratch.extend_from_slice(neighbors);
         self.scratch.sort_unstable();
         self.scratch.dedup();
-        write_varint(&mut self.writer, u64::from(vertex))?;
-        write_varint(&mut self.writer, self.scratch.len() as u64)?;
-        write_ascending_gaps(&mut self.writer, &self.scratch)?;
+        let start = self.cursor;
+        let mut bytes = write_varint(&mut self.writer, u64::from(vertex))?;
+        bytes += write_varint(&mut self.writer, self.scratch.len() as u64)?;
+        bytes += write_ascending_gaps(&mut self.writer, &self.scratch)?;
+        self.cursor = start + bytes as u64;
+        self.entries += self.scratch.len() as u64;
+        if let Some(slot) = self
+            .offsets
+            .as_mut()
+            .and_then(|o| o.get_mut(vertex as usize))
+        {
+            *slot = start;
+            self.lens.as_mut().expect("lens track offsets")[vertex as usize] = bytes as u32;
+        }
         self.written += 1;
         Ok(())
     }
 
-    /// Flushes and validates the record count.
-    pub fn finish(self) -> io::Result<()> {
-        if self.written != self.expected {
+    fn check_complete(&self) -> io::Result<()> {
+        if self.written != self.expected_records {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
                     "compressed file incomplete: {} of {} records",
-                    self.written, self.expected
+                    self.written, self.expected_records
                 ),
             ));
         }
-        self.writer.finish()?;
         Ok(())
+    }
+
+    /// Flushes, validates the record count, and reconciles the `|E|`
+    /// header with the entries actually written: sort+dedup in
+    /// [`CompressedAdjWriter::write_record`] silently drops multigraph
+    /// duplicates, so the count announced at
+    /// [`CompressedAdjWriter::create`] can be an overstatement — the
+    /// header is patched in place rather than left lying. Returns the
+    /// true undirected edge count.
+    ///
+    /// Fails when the directed entry total is odd (an asymmetric source:
+    /// some edge was recorded on one endpoint only), since no undirected
+    /// edge count could describe such a file.
+    pub fn finish(self) -> io::Result<u64> {
+        self.finish_common()
+    }
+
+    /// Like [`CompressedAdjWriter::finish`], but also returns the
+    /// per-vertex record index accumulated during the write. Requires
+    /// [`CompressedAdjWriter::create_indexed`].
+    ///
+    /// Fails if any vertex in `0..|V|` never received a record (possible
+    /// even with a correct record *count*, via duplicate or out-of-range
+    /// vertex ids) — such an index would misdirect every random access.
+    pub fn finish_indexed(mut self) -> io::Result<CompressedRecordIndex> {
+        let offsets = self.offsets.take().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "writer was not created with create_indexed",
+            )
+        })?;
+        if let Some(missing) = offsets.iter().position(|&o| o == u64::MAX) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("no record was written for vertex {missing}"),
+            ));
+        }
+        let lens = self.lens.take().expect("lens track offsets");
+        self.finish_common()?;
+        Ok(CompressedRecordIndex::from_parts(offsets, lens))
+    }
+
+    fn finish_common(self) -> io::Result<u64> {
+        self.check_complete()?;
+        if !self.entries.is_multiple_of(2) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "asymmetric adjacency records: {} directed entries after dedup \
+                     cannot form undirected edges",
+                    self.entries
+                ),
+            ));
+        }
+        let true_edges = self.entries / 2;
+        self.writer.finish()?;
+        if true_edges != self.expected_edges {
+            let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.seek(SeekFrom::Start(self.edges_field_offset))?;
+            f.write_all(&encode_varint_padded(true_edges))?;
+        }
+        Ok(true_edges)
     }
 }
 
@@ -148,6 +410,48 @@ impl CompressedAdjFile {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The shared I/O counters scans report into.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Opens a fresh block reader positioned after the header, failing
+    /// fast when the magic or the header `|V|`/`|E|` no longer match the
+    /// metadata captured at [`CompressedAdjFile::open`] — a mismatch
+    /// means the file was replaced or corrupted, and decoding gap runs
+    /// against stale metadata would produce garbage records.
+    fn validated_reader(&self) -> io::Result<CountingReader<BlockReader<File>>> {
+        let file = File::open(&self.path)?;
+        let mut reader = CountingReader::new(BlockReader::with_block_size(
+            file,
+            Arc::clone(&self.stats),
+            self.block_size,
+        ));
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: compressed magic vanished", self.path.display()),
+            ));
+        }
+        let num_vertices = read_varint(&mut reader)?;
+        let num_edges = read_varint(&mut reader)?;
+        if num_vertices != self.num_vertices || num_edges != self.num_edges {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: header changed since open (|V| {} -> {num_vertices}, \
+                     |E| {} -> {num_edges})",
+                    self.path.display(),
+                    self.num_vertices,
+                    self.num_edges
+                ),
+            ));
+        }
+        Ok(reader)
+    }
 }
 
 impl GraphScan for CompressedAdjFile {
@@ -161,20 +465,39 @@ impl GraphScan for CompressedAdjFile {
 
     fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
         self.stats.record_scan();
-        let file = File::open(&self.path)?;
-        let mut reader =
-            BlockReader::with_block_size(file, Arc::clone(&self.stats), self.block_size);
-        let mut magic = [0u8; 8];
-        reader.read_exact(&mut magic)?;
-        let _ = read_varint(&mut reader)?;
-        let _ = read_varint(&mut reader)?;
+        let mut reader = self.validated_reader()?;
         let mut neighbors: Vec<VertexId> = Vec::new();
         for _ in 0..self.num_vertices {
-            let vertex = read_varint(&mut reader)? as VertexId;
+            let vertex = read_vertex(&mut reader)?;
             let degree = read_varint(&mut reader)? as usize;
             neighbors.clear();
             read_ascending_gaps(&mut reader, &mut neighbors, degree)?;
             f(vertex, &neighbors);
+        }
+        Ok(())
+    }
+
+    /// Native block hand-out: gap runs decode **straight into** each
+    /// [`RecordBlock`]'s shared neighbour buffer, skipping the default
+    /// implementation's per-record re-buffering copy — this is the path
+    /// the parallel engine's reader thread drives.
+    fn scan_blocks(&self, target_records: usize, f: &mut dyn FnMut(RecordBlock)) -> io::Result<()> {
+        self.stats.record_scan();
+        let mut reader = self.validated_reader()?;
+        let target = target_records.max(1);
+        let nbr_cap = target.saturating_mul(16);
+        let mut block = RecordBlock::with_seq(0);
+        for _ in 0..self.num_vertices {
+            let vertex = read_vertex(&mut reader)?;
+            let degree = read_varint(&mut reader)? as usize;
+            block.push_with(vertex, |dst| read_ascending_gaps(&mut reader, dst, degree))?;
+            if block.len() >= target || block.edge_entries() >= nbr_cap {
+                let seq = block.seq() + 1;
+                f(std::mem::replace(&mut block, RecordBlock::with_seq(seq)));
+            }
+        }
+        if !block.is_empty() {
+            f(block);
         }
         Ok(())
     }
@@ -192,13 +515,43 @@ pub fn compress_adj<G: GraphScan + ?Sized>(
     stats: Arc<IoStats>,
     block_size: usize,
 ) -> io::Result<CompressedAdjFile> {
-    let mut writer = CompressedAdjWriter::create(
+    let writer = CompressedAdjWriter::create(
         path,
         graph.num_vertices() as u64,
         graph.num_edges(),
         Arc::clone(&stats),
         block_size,
     )?;
+    let writer = write_all_records(graph, writer)?;
+    writer.finish()?;
+    CompressedAdjFile::open_with_block_size(path, stats, block_size)
+}
+
+/// Like [`compress_adj`], but also returns the per-vertex record index
+/// built during the write (for the paged access path).
+pub fn compress_adj_indexed<G: GraphScan + ?Sized>(
+    graph: &G,
+    path: &Path,
+    stats: Arc<IoStats>,
+    block_size: usize,
+) -> io::Result<(CompressedAdjFile, CompressedRecordIndex)> {
+    let writer = CompressedAdjWriter::create_indexed(
+        path,
+        graph.num_vertices() as u64,
+        graph.num_edges(),
+        Arc::clone(&stats),
+        block_size,
+    )?;
+    let writer = write_all_records(graph, writer)?;
+    let index = writer.finish_indexed()?;
+    let file = CompressedAdjFile::open_with_block_size(path, stats, block_size)?;
+    Ok((file, index))
+}
+
+fn write_all_records<G: GraphScan + ?Sized>(
+    graph: &G,
+    mut writer: CompressedAdjWriter,
+) -> io::Result<CompressedAdjWriter> {
     let mut error: Option<io::Error> = None;
     graph.scan(&mut |v, ns| {
         if error.is_none() {
@@ -207,17 +560,18 @@ pub fn compress_adj<G: GraphScan + ?Sized>(
             }
         }
     })?;
-    if let Some(e) = error {
-        return Err(e);
+    match error {
+        Some(e) => Err(e),
+        None => Ok(writer),
     }
-    writer.finish()?;
-    CompressedAdjFile::open_with_block_size(path, stats, block_size)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adjfile::AdjFileWriter;
     use crate::csr::CsrGraph;
+    use crate::AdjFile;
     use mis_extmem::ScratchDir;
 
     fn sample() -> CsrGraph {
@@ -336,5 +690,133 @@ mod tests {
         let delta = stats.snapshot().since(&before);
         assert_eq!(delta.scans_started, 1);
         assert!(delta.blocks_read >= 1);
+    }
+
+    /// Regression for the `MISADJC1` `|E|` lie: a multigraph source whose
+    /// duplicate edges are deduplicated by the writer must not leave the
+    /// header overstating the edge count.
+    #[test]
+    fn duplicate_edges_patch_the_edge_header() {
+        let dir = ScratchDir::new("cadj-dup").unwrap();
+        let stats = IoStats::shared();
+        // A plain adjacency file *can* hold duplicate entries; claim 3
+        // edges where only 2 are distinct.
+        let adj_path = dir.file("dup.adj");
+        let mut w = AdjFileWriter::create(&adj_path, 3, 3, Arc::clone(&stats), 256).unwrap();
+        w.write_record(0, &[1, 1, 2]).unwrap();
+        w.write_record(1, &[0, 0]).unwrap();
+        w.write_record(2, &[0]).unwrap();
+        w.finish().unwrap();
+        let adj = AdjFile::open(&adj_path, Arc::clone(&stats)).unwrap();
+        assert_eq!(adj.num_edges(), 3, "the plain header repeats the claim");
+
+        let compressed = compress_adj(&adj, &dir.file("dup.cadj"), stats, 256).unwrap();
+        assert_eq!(
+            compressed.num_edges(),
+            2,
+            "dedup shrank the file; the |E| header must say so"
+        );
+        let mut total = 0u64;
+        compressed
+            .scan(&mut |_, ns| total += ns.len() as u64)
+            .unwrap();
+        assert_eq!(total, 2 * compressed.num_edges());
+    }
+
+    #[test]
+    fn asymmetric_source_is_rejected() {
+        let dir = ScratchDir::new("cadj-asym").unwrap();
+        let mut w =
+            CompressedAdjWriter::create(&dir.file("a.cadj"), 2, 1, IoStats::shared(), 256).unwrap();
+        w.write_record(0, &[1]).unwrap();
+        w.write_record(1, &[]).unwrap(); // edge (0,1) missing its mirror
+        let err = w.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("asymmetric"), "{err}");
+    }
+
+    #[test]
+    fn scan_validates_header_against_open_metadata() {
+        let g = sample();
+        let dir = ScratchDir::new("cadj-swap").unwrap();
+        let stats = IoStats::shared();
+        let path = dir.file("g.cadj");
+        let file = compress_adj(&g, &path, Arc::clone(&stats), 256).unwrap();
+        // Replace the file behind the handle's back with a smaller graph.
+        let tiny = CsrGraph::from_edges(2, &[(0, 1)]);
+        compress_adj(&tiny, &path, Arc::clone(&stats), 256).unwrap();
+        let err = file.scan(&mut |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("header changed"), "{err}");
+        let err = file.scan_blocks(4, &mut |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn native_scan_blocks_replays_scan_exactly() {
+        let g = mis_gen_free_plrg(500);
+        let dir = ScratchDir::new("cadj-blocks").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), stats, 512).unwrap();
+        let mut direct = Vec::new();
+        file.scan(&mut |v, ns| direct.push((v, ns.to_vec())))
+            .unwrap();
+        for target in [1, 7, 100_000] {
+            let mut replayed = Vec::new();
+            let mut seqs = Vec::new();
+            file.scan_blocks(target, &mut |block| {
+                seqs.push(block.seq());
+                assert!(!block.is_empty());
+                for (v, ns) in block.iter() {
+                    replayed.push((v, ns.to_vec()));
+                }
+            })
+            .unwrap();
+            assert_eq!(replayed, direct, "target {target}");
+            let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+            assert_eq!(seqs, expect, "target {target}: seq numbers in order");
+        }
+    }
+
+    #[test]
+    fn writer_index_agrees_with_scan_built_index() {
+        let g = mis_gen_free_plrg(300);
+        let dir = ScratchDir::new("cadj-idx").unwrap();
+        let stats = IoStats::shared();
+        let (file, from_writer) =
+            compress_adj_indexed(&g, &dir.file("g.cadj"), stats, 512).unwrap();
+        let from_scan = CompressedRecordIndex::build(&file).unwrap();
+        assert_eq!(from_writer.len(), from_scan.len());
+        assert!(!from_writer.is_empty());
+        for v in 0..file.num_vertices() as VertexId {
+            assert_eq!(from_writer.offset(v), from_scan.offset(v), "v={v}");
+            assert_eq!(from_writer.record_len(v), from_scan.record_len(v), "v={v}");
+        }
+        assert_eq!(from_writer.index_bytes(), 12 * 300);
+    }
+
+    #[test]
+    fn unindexed_writer_cannot_finish_indexed() {
+        let dir = ScratchDir::new("cadj-unidx").unwrap();
+        let mut w =
+            CompressedAdjWriter::create(&dir.file("g.cadj"), 1, 0, IoStats::shared(), 256).unwrap();
+        w.write_record(0, &[]).unwrap();
+        assert_eq!(
+            w.finish_indexed().unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn duplicate_record_leaves_a_hole_finish_indexed_rejects() {
+        let dir = ScratchDir::new("cadj-hole").unwrap();
+        let mut w =
+            CompressedAdjWriter::create_indexed(&dir.file("h.cadj"), 2, 0, IoStats::shared(), 256)
+                .unwrap();
+        w.write_record(0, &[]).unwrap();
+        w.write_record(0, &[]).unwrap(); // count right, vertex 1 missing
+        let err = w.finish_indexed().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("vertex 1"));
     }
 }

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adjfile;
+pub mod anyfile;
 pub mod builder;
 pub mod compressed;
 pub mod csr;
@@ -43,8 +44,14 @@ pub mod raccess;
 pub mod scan;
 
 pub use adjfile::AdjFile;
-pub use builder::{build_adj_file, degree_sort_adj_file, GraphBuilder};
-pub use compressed::{compress_adj, CompressedAdjFile};
+pub use anyfile::AnyAdjFile;
+pub use builder::{
+    build_adj_file, degree_sort_adj_file, degree_sort_compressed_adj_file, GraphBuilder,
+};
+pub use compressed::{
+    compress_adj, compress_adj_indexed, CompressedAdjFile, CompressedAdjWriter,
+    CompressedRecordIndex,
+};
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
 pub use raccess::{NeighborAccess, RandomAccessGraph, RecordIndex};

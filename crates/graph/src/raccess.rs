@@ -9,11 +9,15 @@
 //! * [`RecordIndex`] — one `u64` file offset per vertex, built while
 //!   writing the file ([`crate::adjfile::AdjFileWriter::finish_indexed`])
 //!   or by one accounted scan ([`RecordIndex::build`]). `8|V|` bytes,
-//!   within the semi-external `O(|V|)` memory budget.
-//! * [`RandomAccessGraph`] — an adjacency file behind a
-//!   [`BufferPool`]: [`RandomAccessGraph::neighbors`] resolves a vertex
-//!   through the index and reads its record via pinned pages, so repeated
-//!   reads of a small working set cost cache hits instead of scans.
+//!   within the semi-external `O(|V|)` memory budget. Gap-compressed
+//!   files use [`crate::CompressedRecordIndex`] instead (offset *and*
+//!   byte length per vertex, `12|V|` bytes — variable-width records have
+//!   no computable length).
+//! * [`RandomAccessGraph`] — an adjacency file (plain `MISADJ01` or
+//!   gap-compressed `MISADJC1`) behind a [`BufferPool`]:
+//!   [`RandomAccessGraph::neighbors`] resolves a vertex through the
+//!   index and reads its record via pinned pages, so repeated reads of a
+//!   small working set cost cache hits instead of scans.
 //! * [`NeighborAccess`] — the trait the swap algorithms use for their
 //!   paged candidate-verification path, also implemented by the in-memory
 //!   representations so the paged code path can be tested without disk.
@@ -24,8 +28,10 @@ use std::cell::RefCell;
 use std::io;
 
 use mis_extmem::pager::{open_file_source, BufferPool, FilePageSource, PagerConfig};
+use mis_extmem::varint::{read_ascending_gaps, read_varint};
 
 use crate::adjfile::{AdjFile, HEADER_BYTES};
+use crate::compressed::{CompressedAdjFile, CompressedRecordIndex};
 use crate::scan::GraphScan;
 use crate::VertexId;
 
@@ -106,16 +112,31 @@ struct PoolState {
     nbrs: Vec<VertexId>,
 }
 
-/// An adjacency file served through a buffer-pool page cache.
+/// How the records behind the pool are encoded.
+enum Codec {
+    /// Fixed-width `MISADJ01` records: `u32` vertex, `u32` degree,
+    /// `u32` neighbours.
+    Plain,
+    /// Varint/gap-coded `MISADJC1` records; variable width, so the
+    /// per-vertex byte length rides along from the
+    /// [`CompressedRecordIndex`].
+    Compressed { lens: Vec<u32> },
+}
+
+/// An adjacency file — plain or gap-compressed — served through a
+/// buffer-pool page cache.
 ///
-/// Create with [`RandomAccessGraph::open`] (index built by one scan) or
-/// [`RandomAccessGraph::with_index`] (index carried over from the
-/// writer). All reads go through the pool, so hits, misses, evictions and
-/// the block transfers of misses land in the same [`mis_extmem::IoStats`]
-/// as the scan machinery's counters.
+/// Create with [`RandomAccessGraph::open`] /
+/// [`RandomAccessGraph::open_compressed`] (index built by one scan) or
+/// [`RandomAccessGraph::with_index`] /
+/// [`RandomAccessGraph::with_compressed_index`] (index carried over from
+/// the writer). All reads go through the pool, so hits, misses,
+/// evictions and the block transfers of misses land in the same
+/// [`mis_extmem::IoStats`] as the scan machinery's counters.
 pub struct RandomAccessGraph {
     state: RefCell<PoolState>,
     index: RecordIndex,
+    codec: Codec,
     num_vertices: usize,
     num_edges: u64,
     config: PagerConfig,
@@ -152,8 +173,65 @@ impl RandomAccessGraph {
                 ),
             ));
         }
-        let source = open_file_source(file.path())?;
-        let pool = BufferPool::new(source, config, std::sync::Arc::clone(file.stats()));
+        Self::build(
+            file.path(),
+            std::sync::Arc::clone(file.stats()),
+            index,
+            Codec::Plain,
+            file.num_vertices(),
+            file.num_edges(),
+            config,
+        )
+    }
+
+    /// Opens a gap-compressed file for random access, building the
+    /// record index with one accounted scan.
+    pub fn open_compressed(file: &CompressedAdjFile, config: PagerConfig) -> io::Result<Self> {
+        let index = CompressedRecordIndex::build(file)?;
+        Self::with_compressed_index(file, index, config)
+    }
+
+    /// Opens a gap-compressed file for random access with a pre-built
+    /// index (for instance from
+    /// [`crate::compressed::CompressedAdjWriter::finish_indexed`]).
+    pub fn with_compressed_index(
+        file: &CompressedAdjFile,
+        index: CompressedRecordIndex,
+        config: PagerConfig,
+    ) -> io::Result<Self> {
+        if index.len() != file.num_vertices() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "record index covers {} vertices, file has {}",
+                    index.len(),
+                    file.num_vertices()
+                ),
+            ));
+        }
+        let (offsets, lens) = index.into_parts();
+        Self::build(
+            file.path(),
+            std::sync::Arc::clone(file.stats()),
+            RecordIndex::from_offsets(offsets),
+            Codec::Compressed { lens },
+            file.num_vertices(),
+            file.num_edges(),
+            config,
+        )
+    }
+
+    fn build(
+        path: &std::path::Path,
+        stats: std::sync::Arc<mis_extmem::IoStats>,
+        index: RecordIndex,
+        codec: Codec,
+        num_vertices: usize,
+        num_edges: u64,
+        config: PagerConfig,
+    ) -> io::Result<Self> {
+        let source = open_file_source(path)?;
+        let pool = BufferPool::new(source, config, stats);
         Ok(Self {
             state: RefCell::new(PoolState {
                 pool,
@@ -161,8 +239,9 @@ impl RandomAccessGraph {
                 nbrs: Vec::new(),
             }),
             index,
-            num_vertices: file.num_vertices(),
-            num_edges: file.num_edges(),
+            codec,
+            num_vertices,
+            num_edges,
             config,
         })
     }
@@ -206,71 +285,112 @@ impl RandomAccessGraph {
         // the callback may recursively read through this graph.
         let nbrs = {
             let state = &mut *self.state.borrow_mut();
-            let PoolState { pool, raw, nbrs } = state;
-            // Walk the pages covering the record, pinning each exactly
-            // once: header and body share the first page's request, so
-            // the hit/miss counters measure real page locality rather
-            // than the two-reads-per-record access pattern.
-            raw.clear();
-            let page_size = pool.config().page_size as u64;
-            let mut page_no = offset / page_size;
-            let mut in_page = (offset % page_size) as usize;
-            let mut header = [0u8; 8];
-            let mut header_got = 0usize;
-            let mut body_len = 0usize;
-            loop {
-                if page_no >= pool.num_pages() {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "truncated adjacency record",
-                    ));
+            match &self.codec {
+                Codec::Plain => fetch_plain(state, offset, v)?,
+                Codec::Compressed { lens } => {
+                    fetch_compressed(state, offset, lens[v as usize] as usize, v)?
                 }
-                let header_was_done = header_got == 8;
-                pool.with_page(page_no, |page| {
-                    let mut avail: &[u8] = page.get(in_page..).unwrap_or(&[]);
-                    if header_got < 8 {
-                        let take = (8 - header_got).min(avail.len());
-                        header[header_got..header_got + take].copy_from_slice(&avail[..take]);
-                        header_got += take;
-                        avail = &avail[take..];
-                    }
-                    if header_got == 8 {
-                        let degree = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
-                        let take = (4 * degree - raw.len()).min(avail.len());
-                        raw.extend_from_slice(&avail[..take]);
-                    }
-                })?;
-                if header_got == 8 && !header_was_done {
-                    // Validate the header the moment it completes.
-                    let vertex = u32::from_le_bytes(header[0..4].try_into().unwrap());
-                    if vertex != v {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "record index out of sync: found vertex {vertex} at {v}'s offset"
-                            ),
-                        ));
-                    }
-                    body_len = 4 * u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
-                }
-                if header_got == 8 && raw.len() == body_len {
-                    break;
-                }
-                page_no += 1;
-                in_page = 0;
             }
-            let mut nbrs = std::mem::take(nbrs);
-            nbrs.clear();
-            nbrs.extend(
-                raw.chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
-            );
-            nbrs
         };
         f(&nbrs);
         self.state.borrow_mut().nbrs = nbrs;
         Ok(())
     }
+}
+
+/// Decodes `v`'s fixed-width `MISADJ01` record through the pool.
+fn fetch_plain(state: &mut PoolState, offset: u64, v: VertexId) -> io::Result<Vec<VertexId>> {
+    let PoolState { pool, raw, nbrs } = state;
+    // Walk the pages covering the record, pinning each exactly
+    // once: header and body share the first page's request, so
+    // the hit/miss counters measure real page locality rather
+    // than the two-reads-per-record access pattern.
+    raw.clear();
+    let page_size = pool.config().page_size as u64;
+    let mut page_no = offset / page_size;
+    let mut in_page = (offset % page_size) as usize;
+    let mut header = [0u8; 8];
+    let mut header_got = 0usize;
+    let mut body_len = 0usize;
+    loop {
+        if page_no >= pool.num_pages() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated adjacency record",
+            ));
+        }
+        let header_was_done = header_got == 8;
+        pool.with_page(page_no, |page| {
+            let mut avail: &[u8] = page.get(in_page..).unwrap_or(&[]);
+            if header_got < 8 {
+                let take = (8 - header_got).min(avail.len());
+                header[header_got..header_got + take].copy_from_slice(&avail[..take]);
+                header_got += take;
+                avail = &avail[take..];
+            }
+            if header_got == 8 {
+                let degree = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+                let take = (4 * degree - raw.len()).min(avail.len());
+                raw.extend_from_slice(&avail[..take]);
+            }
+        })?;
+        if header_got == 8 && !header_was_done {
+            // Validate the header the moment it completes.
+            let vertex = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            if vertex != v {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("record index out of sync: found vertex {vertex} at {v}'s offset"),
+                ));
+            }
+            body_len = 4 * u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        }
+        if header_got == 8 && raw.len() == body_len {
+            break;
+        }
+        page_no += 1;
+        in_page = 0;
+    }
+    let mut nbrs = std::mem::take(nbrs);
+    nbrs.clear();
+    nbrs.extend(
+        raw.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+    );
+    Ok(nbrs)
+}
+
+/// Decodes `v`'s varint/gap-coded `MISADJC1` record through the pool.
+/// The index supplies the record's byte length, so the record bytes are
+/// gathered with one pin per covered page and decoded in memory.
+fn fetch_compressed(
+    state: &mut PoolState,
+    offset: u64,
+    len: usize,
+    v: VertexId,
+) -> io::Result<Vec<VertexId>> {
+    let PoolState { pool, raw, nbrs } = state;
+    raw.resize(len, 0);
+    let got = pool.read_at(offset, raw)?;
+    if got < len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated compressed adjacency record",
+        ));
+    }
+    let mut cursor: &[u8] = raw;
+    let vertex = read_varint(&mut cursor)?;
+    if vertex != u64::from(v) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("record index out of sync: found vertex {vertex} at {v}'s offset"),
+        ));
+    }
+    let degree = read_varint(&mut cursor)? as usize;
+    let mut nbrs = std::mem::take(nbrs);
+    nbrs.clear();
+    read_ascending_gaps(&mut cursor, &mut nbrs, degree)?;
+    Ok(nbrs)
 }
 
 impl NeighborAccess for RandomAccessGraph {
@@ -285,11 +405,20 @@ impl NeighborAccess for RandomAccessGraph {
     }
 
     fn resident_bytes(&self) -> u64 {
-        self.config.capacity_bytes() + 8 * self.index.len() as u64
+        // 8 bytes of offset per vertex, plus the explicit 4-byte record
+        // length the variable-width compressed records need.
+        let per_vertex = match &self.codec {
+            Codec::Plain => 8,
+            Codec::Compressed { .. } => 12,
+        };
+        self.config.capacity_bytes() + per_vertex * self.index.len() as u64
     }
 
     fn access_storage(&self) -> &'static str {
-        "adj-file+pager"
+        match &self.codec {
+            Codec::Plain => "adj-file+pager",
+            Codec::Compressed { .. } => "cadj-file+pager",
+        }
     }
 }
 
@@ -424,6 +553,59 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         let ra = RandomAccessGraph::open(&file, tiny_config(2)).unwrap();
         assert!(ra.neighbors(99).is_err());
+    }
+
+    #[test]
+    fn compressed_neighbors_match_scan_for_every_vertex() {
+        use crate::compressed::{compress_adj_indexed, CompressedRecordIndex};
+        let g = sample();
+        let dir = ScratchDir::new("raccess-comp").unwrap();
+        let stats = IoStats::shared();
+        let (file, widx) =
+            compress_adj_indexed(&g, &dir.file("g.cadj"), Arc::clone(&stats), 64).unwrap();
+        let mut expected = vec![Vec::new(); g.num_vertices()];
+        file.scan(&mut |v, ns| expected[v as usize] = ns.to_vec())
+            .unwrap();
+        // Writer-built and scan-built indexes agree.
+        let sidx = CompressedRecordIndex::build(&file).unwrap();
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(widx.offset(v), sidx.offset(v), "v={v}");
+            assert_eq!(widx.record_len(v), sidx.record_len(v), "v={v}");
+        }
+        for frames in [1, 2, 64] {
+            let ra =
+                RandomAccessGraph::with_compressed_index(&file, widx.clone(), tiny_config(frames))
+                    .unwrap();
+            for v in 0..g.num_vertices() as VertexId {
+                assert_eq!(ra.neighbors(v).unwrap(), expected[v as usize], "v={v}");
+            }
+            assert_eq!(ra.access_storage(), "cadj-file+pager");
+        }
+        // Ranks reflect storage order (id order here).
+        let ra = RandomAccessGraph::open_compressed(&file, tiny_config(4)).unwrap();
+        assert!(ra.record_rank(0) < ra.record_rank(1));
+        assert_eq!(
+            ra.resident_bytes(),
+            4 * 16 + 12 * g.num_vertices() as u64,
+            "pool frames + 12 bytes of index per vertex"
+        );
+        assert!(ra.neighbors(99).is_err());
+    }
+
+    #[test]
+    fn compressed_mismatched_index_is_rejected() {
+        use crate::compressed::{compress_adj, CompressedRecordIndex};
+        let g = sample();
+        let dir = ScratchDir::new("raccess-comp-bad").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), stats, 64).unwrap();
+        let err = RandomAccessGraph::with_compressed_index(
+            &file,
+            CompressedRecordIndex::from_parts(vec![0; 2], vec![0; 2]),
+            tiny_config(2),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

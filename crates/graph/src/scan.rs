@@ -90,7 +90,10 @@ pub struct RecordBlock {
 }
 
 impl RecordBlock {
-    fn with_seq(seq: u64) -> Self {
+    /// An empty block at position `seq` in storage order. Crate-visible
+    /// so storage formats with a native [`GraphScan::scan_blocks`]
+    /// (e.g. [`crate::CompressedAdjFile`]) can produce blocks directly.
+    pub(crate) fn with_seq(seq: u64) -> Self {
         Self {
             seq,
             verts: Vec::new(),
@@ -104,6 +107,29 @@ impl RecordBlock {
         self.verts.push(v);
         self.nbrs.extend_from_slice(ns);
         self.bounds.push(self.nbrs.len());
+    }
+
+    /// Appends one record whose neighbour list is produced by `fill`
+    /// writing **appended** entries straight into the block's shared
+    /// neighbour buffer — no intermediate per-record vector. On error the
+    /// partial record is rolled back and the block stays valid.
+    pub(crate) fn push_with(
+        &mut self,
+        v: VertexId,
+        fill: impl FnOnce(&mut Vec<VertexId>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let start = *self.bounds.last().expect("bounds never empty");
+        match fill(&mut self.nbrs) {
+            Ok(()) => {
+                self.verts.push(v);
+                self.bounds.push(self.nbrs.len());
+                Ok(())
+            }
+            Err(e) => {
+                self.nbrs.truncate(start);
+                Err(e)
+            }
+        }
     }
 
     /// Position of this block in storage order (`0, 1, 2, …`).

@@ -39,5 +39,7 @@ pub mod store;
 pub mod wal;
 
 pub use checkpoint::Checkpoint;
-pub use store::{ApplyReport, CompactReport, StoreStatus, UpdateStore};
+pub use store::{
+    ApplyReport, CompactFormat, CompactIndex, CompactReport, StoreStatus, UpdateStore,
+};
 pub use wal::{EdgeOp, Wal, WalRecovery};

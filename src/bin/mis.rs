@@ -6,19 +6,22 @@
 //!              dataset --name Facebook [--scale F]
 //!              er --vertices N --edges M | ba --vertices N --attach M
 //!              rmat --log-vertices K --edge-factor F
+//!              [--compress]               emit gap-compressed MISADJC1
 //! mis convert  <edges.txt> <out.adj>     text edge list → adjacency file
-//! mis sort     <in.adj> <out.adj>        degree-sort (Algorithm 1 preprocessing)
-//! mis compress <in.adj> <out.cadj>       gap-compress (WebGraph-style)
+//! mis sort     <in.adj> <out>            degree-sort (Algorithm 1 preprocessing)
+//!              [--compress]               emit gap-compressed MISADJC1
+//! mis compress <in> <out.cadj>           gap-compress (WebGraph-style)
 //! mis stats    <graph>                   size / degree summary
 //! mis bound    <graph>                   Algorithm 5 + matching upper bounds
 //! mis run      <graph> [--algo A] [--rounds N] [--quiet] [--threads N]
 //!              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
 //!              A ∈ greedy | baseline | onek | twok | peel | tfp | dynamic
 //! mis update   <append|apply|compact|status> ...   durable edge updates
-//!              append <base.adj> --ops <file>      log one epoch of edits
-//!              apply <base.adj> [--rounds N]       repair + checkpoint the IS
-//!              compact <base.adj> <out.adj>        merge log into a new base
-//!              status <base.adj>                   inspect epochs/checkpoint
+//!              append <base> --ops <file>          log one epoch of edits
+//!              apply <base> [--rounds N]           repair + checkpoint the IS
+//!              compact <base> <out>                merge log into a new base
+//!                      [--format plain|compressed]
+//!              status <base>                       inspect epochs/checkpoint
 //!              (all take [--wal F] [--checkpoint F]; defaults derive
 //!               from the base path: <base>.wal / <base>.ckpt)
 //! ```
@@ -38,12 +41,15 @@
 //! (`--algo tfp|dynamic` have no engine-ported passes and always run
 //! single-threaded; an explicit `--threads` is noted and ignored there.)
 //!
-//! `<graph>` accepts plain (`MISADJ01`) and compressed (`MISADJC1`)
-//! adjacency files, detected by magic bytes. Every run prints IS size,
-//! scan counts, block transfers, cache hit rates (when caching) and the
-//! modelled memory, and verifies the result before reporting success.
+//! `<graph>` and `<base>` accept plain (`MISADJ01`) and gap-compressed
+//! (`MISADJC1`) adjacency files everywhere, detected by magic bytes —
+//! including `mis run --cache-mb`, which builds the matching
+//! variable-width record index for compressed files. Every run prints IS
+//! size, scan counts, block transfers, cache hit rates (when caching)
+//! and the modelled memory, and verifies the result before reporting
+//! success.
 
-use std::io::{BufReader, Read};
+use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -52,9 +58,11 @@ use std::time::Instant;
 use semi_mis::algo::peeling::peel_and_solve;
 use semi_mis::extmem::{SortConfig, DEFAULT_BLOCK_SIZE};
 use semi_mis::graph::{
-    build_adj_file, compress_adj, degree_sort_adj_file, edgelist, CompressedAdjFile,
+    build_adj_file, compress_adj, degree_sort_adj_file, degree_sort_compressed_adj_file, edgelist,
+    AnyAdjFile,
 };
 use semi_mis::prelude::*;
+use semi_mis::update::CompactFormat;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,18 +79,19 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "
 usage: mis <command> ... [--block-size BYTES]
-  gen <plrg|dataset|er|ba|rmat> [options] <out.adj>
+  gen <plrg|dataset|er|ba|rmat> [options] [--compress] <out.adj>
   convert <edges.txt> <out.adj>
-  sort <in.adj> <out.adj>
-  compress <in.adj> <out.cadj>
+  sort <in.adj> <out> [--compress]
+  compress <in> <out.cadj>
   stats <graph> [--threads N]
   bound <graph> [--threads N]
   run <graph> [--algo greedy|baseline|onek|twok|peel|tfp|dynamic] [--rounds N]
               [--threads N] [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
-  update append <base.adj> --ops <file> [--wal F]
-         apply <base.adj> [--rounds N] [--wal F] [--checkpoint F]
-         compact <base.adj> <out.adj> [--wal F] [--checkpoint F]
-         status <base.adj> [--wal F] [--checkpoint F]
+  update append <base> --ops <file> [--wal F]
+         apply <base> [--rounds N] [--wal F] [--checkpoint F]
+         compact <base> <out> [--format plain|compressed] [--wal F] [--checkpoint F]
+         status <base> [--wal F] [--checkpoint F]
+  (<graph>/<base> may be plain MISADJ01 or gap-compressed MISADJC1 files)
 ";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -104,13 +113,21 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 /// Parsed `--name value` option pairs.
 type Options = Vec<(String, String)>;
 
-/// Pulls `--name value` options and positional arguments apart.
+/// Flags that take no value; parsed as `(name, "true")`.
+const BOOL_FLAGS: &[&str] = &["compress", "quiet"];
+
+/// Pulls `--name value` options, valueless `--flag`s and positional
+/// arguments apart.
 fn parse_opts(args: &[String]) -> Result<(Vec<String>, Options), String> {
     let mut positional = Vec::new();
     let mut options = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                options.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             options.push((name.to_string(), value.clone()));
         } else {
@@ -140,35 +157,9 @@ fn opt_parse<T: std::str::FromStr>(
     }
 }
 
-/// Either flavour of on-disk graph, behind one scan interface.
-enum AnyFile {
-    Plain(AdjFile),
-    Compressed(CompressedAdjFile),
-}
-
-impl AnyFile {
-    fn open(path: &Path, stats: Arc<IoStats>, block_size: usize) -> Result<Self, String> {
-        let mut magic = [0u8; 8];
-        std::fs::File::open(path)
-            .and_then(|mut f| f.read_exact(&mut magic))
-            .map_err(|e| format!("{}: {e}", path.display()))?;
-        match &magic {
-            b"MISADJ01" => AdjFile::open_with_block_size(path, stats, block_size)
-                .map(AnyFile::Plain)
-                .map_err(|e| e.to_string()),
-            b"MISADJC1" => CompressedAdjFile::open_with_block_size(path, stats, block_size)
-                .map(AnyFile::Compressed)
-                .map_err(|e| e.to_string()),
-            _ => Err(format!("{}: not an adjacency file", path.display())),
-        }
-    }
-
-    fn scan_ref(&self) -> &dyn GraphScan {
-        match self {
-            AnyFile::Plain(f) => f,
-            AnyFile::Compressed(f) => f,
-        }
-    }
+/// Opens either flavour of on-disk graph (detected by magic bytes).
+fn open_any(path: &Path, stats: Arc<IoStats>, block_size: usize) -> Result<AnyAdjFile, String> {
+    AnyAdjFile::open_with_block_size(path, stats, block_size).map_err(|e| e.to_string())
 }
 
 /// Parses the shared `--block-size` option (the cost model's `B`).
@@ -200,12 +191,18 @@ fn write_graph(
     graph: &semi_mis::graph::CsrGraph,
     out: &Path,
     block_size: usize,
+    compress: bool,
 ) -> Result<(), String> {
     let stats = IoStats::shared();
-    build_adj_file(graph, out, stats, block_size).map_err(|e| e.to_string())?;
+    if compress {
+        compress_adj(graph, out, stats, block_size).map_err(|e| e.to_string())?;
+    } else {
+        build_adj_file(graph, out, stats, block_size).map_err(|e| e.to_string())?;
+    }
     println!(
-        "wrote {}: {} vertices, {} edges (block size {block_size} B)",
+        "wrote {}{}: {} vertices, {} edges (block size {block_size} B)",
         out.display(),
+        if compress { " (gap-compressed)" } else { "" },
         graph.num_vertices(),
         graph.num_edges()
     );
@@ -251,7 +248,12 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown model `{other}`")),
     };
-    write_graph(&graph, &out, opt_block_size(&opts)?)
+    write_graph(
+        &graph,
+        &out,
+        opt_block_size(&opts)?,
+        opt(&opts, "compress").is_some(),
+    )
 }
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {
@@ -261,7 +263,12 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     };
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let graph = edgelist::read_csr(BufReader::new(file)).map_err(|e| e.to_string())?;
-    write_graph(&graph, Path::new(out), opt_block_size(&opts)?)
+    write_graph(
+        &graph,
+        Path::new(out),
+        opt_block_size(&opts)?,
+        opt(&opts, "compress").is_some(),
+    )
 }
 
 fn cmd_sort(args: &[String]) -> Result<(), String> {
@@ -270,6 +277,7 @@ fn cmd_sort(args: &[String]) -> Result<(), String> {
         return Err("sort needs: <in.adj> <out.adj>".into());
     };
     let block_size = opt_block_size(&opts)?;
+    let compress = opt(&opts, "compress").is_some();
     let stats = IoStats::shared();
     let file = AdjFile::open_with_block_size(Path::new(input), Arc::clone(&stats), block_size)
         .map_err(|e| e.to_string())?;
@@ -279,16 +287,32 @@ fn cmd_sort(args: &[String]) -> Result<(), String> {
         block_size,
         ..SortConfig::default()
     };
-    degree_sort_adj_file(&file, Path::new(out), &sort_cfg, &scratch).map_err(|e| e.to_string())?;
+    if compress {
+        degree_sort_compressed_adj_file(&file, Path::new(out), &sort_cfg, &scratch)
+            .map_err(|e| e.to_string())?;
+    } else {
+        degree_sort_adj_file(&file, Path::new(out), &sort_cfg, &scratch)
+            .map_err(|e| e.to_string())?;
+    }
     println!(
-        "degree-sorted {} -> {} in {:.1}s, block size {} B ({})",
+        "degree-sorted {} -> {}{} in {:.1}s, block size {} B ({})",
         input,
         out,
+        if compress { " (gap-compressed)" } else { "" },
         start.elapsed().as_secs_f64(),
         block_size,
         stats.snapshot()
     );
     Ok(())
+}
+
+/// Formats the `before/after` compression ratio, avoiding `inf`/`NaN`
+/// on degenerate (empty) inputs.
+fn format_ratio(before: u64, after: u64) -> String {
+    if before == 0 || after == 0 {
+        return "n/a".to_string();
+    }
+    format!("{:.2}x", before as f64 / after as f64)
 }
 
 fn cmd_compress(args: &[String]) -> Result<(), String> {
@@ -298,14 +322,14 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     };
     let block_size = opt_block_size(&opts)?;
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), block_size)?;
-    let compressed = compress_adj(file.scan_ref(), Path::new(out), stats, block_size)
+    let file = open_any(Path::new(input), Arc::clone(&stats), block_size)?;
+    let compressed = compress_adj(file.as_scan(), Path::new(out), stats, block_size)
         .map_err(|e| e.to_string())?;
     let before = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
     let after = compressed.disk_bytes().map_err(|e| e.to_string())?;
     println!(
-        "compressed {input} ({before} B) -> {out} ({after} B), ratio {:.2}x",
-        before as f64 / after as f64
+        "compressed {input} ({before} B) -> {out} ({after} B), ratio {}",
+        format_ratio(before, after)
     );
     Ok(())
 }
@@ -317,8 +341,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     };
     let executor = opt_executor(&opts)?;
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
-    let scan = file.scan_ref();
+    let file = open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
+    let scan = file.as_scan();
     let n = scan.num_vertices();
     let degrees = engine::passes::degree_stats(scan, &executor);
     println!("{input} ({}):", scan.storage());
@@ -338,8 +362,8 @@ fn cmd_bound(args: &[String]) -> Result<(), String> {
     };
     let executor = opt_executor(&opts)?;
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
-    let scan = file.scan_ref();
+    let file = open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
+    let scan = file.as_scan();
     let star = semi_mis::algo::upper_bound_scan_with(scan, &executor);
     let matching = semi_mis::algo::matching_bound_with(scan, &executor);
     println!("Algorithm 5 (star partition): {star}");
@@ -394,7 +418,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let quiet = opt(&opts, "quiet").is_some();
 
     let stats = IoStats::shared();
-    let file = AnyFile::open(Path::new(input), Arc::clone(&stats), block_size)?;
+    let file = open_any(Path::new(input), Arc::clone(&stats), block_size)?;
 
     // --cache-mb: build the buffer-pool access path for the swap rounds.
     let mut pager_config = None;
@@ -402,24 +426,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         if !matches!(algo, "onek" | "twok") {
             return Err("--cache-mb only applies to --algo onek|twok".into());
         }
-        let AnyFile::Plain(adj) = &file else {
-            return Err(
-                "--cache-mb needs a plain adjacency file (compressed records \
-                        have no fixed offsets to index)"
-                    .into(),
-            );
-        };
         config.paged_threshold = paged_threshold;
         config.validate()?;
         let pc = PagerConfig::with_capacity_bytes(cache_mb << 20, block_size, policy);
         pager_config = Some(pc);
-        Some(RandomAccessGraph::open(adj, pc).map_err(|e| e.to_string())?)
+        // The index flavour follows the record codec: fixed-width
+        // offsets for plain files, offset+length for compressed ones.
+        let ra = match &file {
+            AnyAdjFile::Plain(adj) => RandomAccessGraph::open(adj, pc),
+            AnyAdjFile::Compressed(cadj) => RandomAccessGraph::open_compressed(cadj, pc),
+        };
+        Some(ra.map_err(|e| e.to_string())?)
     } else {
         None
     };
     let access = raccess.as_ref().map(|ra| ra as &dyn NeighborAccess);
 
-    let scan = file.scan_ref();
+    let scan = file.as_scan();
     let start = Instant::now();
     let mut paged_rounds = None;
     let (set, scans, memory) = match algo {
@@ -597,8 +620,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     // `status` is documented as read-only: when no WAL exists yet, report
     // from the base file and checkpoint alone instead of creating one.
     if action == "status" && !wal.exists() {
-        let file = AdjFile::open_with_block_size(base, Arc::clone(&stats), block_size)
-            .map_err(|e| e.to_string())?;
+        let file = open_any(base, Arc::clone(&stats), block_size)?;
         println!("base: {} ({} B blocks)", base.display(), block_size);
         println!("  |V| = {}", file.num_vertices());
         println!(
@@ -678,12 +700,23 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         }
         "compact" => {
             let out = &rest_pos[1]; // presence validated above
+            let format: CompactFormat = match opt(&opts, "format") {
+                None => CompactFormat::default(),
+                Some(s) => s.parse()?,
+            };
             let start = Instant::now();
-            let report = store.compact(Path::new(out)).map_err(|e| e.to_string())?;
+            let report = store
+                .compact_as(Path::new(out), format)
+                .map_err(|e| e.to_string())?;
             println!(
-                "compacted {} ops into {}: {} vertices, {} edges, {} B in {:.2}s",
+                "compacted {} ops into {}{}: {} vertices, {} edges, {} B in {:.2}s",
                 report.merged_ops,
                 out,
+                if format == CompactFormat::Compressed {
+                    " (gap-compressed)"
+                } else {
+                    ""
+                },
                 report.vertices,
                 report.edges,
                 report.bytes,
@@ -763,13 +796,37 @@ mod tests {
         let dir = ScratchDir::new("cli-test").unwrap();
         let path = dir.file("junk.bin");
         std::fs::write(&path, b"garbage garbage!").unwrap();
-        assert!(AnyFile::open(&path, IoStats::shared(), DEFAULT_BLOCK_SIZE).is_err());
-        assert!(AnyFile::open(
+        assert!(open_any(&path, IoStats::shared(), DEFAULT_BLOCK_SIZE).is_err());
+        assert!(open_any(
             &dir.file("missing.adj"),
             IoStats::shared(),
             DEFAULT_BLOCK_SIZE
         )
         .is_err());
+    }
+
+    #[test]
+    fn format_ratio_guards_degenerate_inputs() {
+        assert_eq!(format_ratio(0, 0), "n/a");
+        assert_eq!(format_ratio(0, 10), "n/a");
+        assert_eq!(format_ratio(10, 0), "n/a");
+        assert_eq!(format_ratio(100, 50), "2.00x");
+    }
+
+    #[test]
+    fn compress_handles_an_empty_graph() {
+        // A 0-vertex graph still compresses and restats cleanly. (Both
+        // files keep nonzero header bytes, so the ratio stays numeric
+        // here; the `n/a` guard itself is unit-tested in
+        // `format_ratio_guards_degenerate_inputs`.)
+        let dir = ScratchDir::new("cli-empty").unwrap();
+        let out = dir.file("e.adj");
+        let w = semi_mis::graph::adjfile::AdjFileWriter::create(&out, 0, 0, IoStats::shared(), 256)
+            .unwrap();
+        w.finish().unwrap();
+        let cout = dir.file("e.cadj").display().to_string();
+        dispatch(&strs(&["compress", &out.display().to_string(), &cout])).unwrap();
+        dispatch(&strs(&["stats", &cout])).unwrap();
     }
 
     #[test]
@@ -833,9 +890,90 @@ mod tests {
         assert!(dispatch(&strs(&["run", &out, "--policy", "clock"])).is_err());
         assert!(dispatch(&strs(&["run", &out, "--paged-threshold", "0.5"])).is_err());
         assert!(dispatch(&strs(&["run", &out, "--policy", "fifo", "--cache-mb", "1"])).is_err());
+        // The paged path works on compressed files too (variable-width
+        // record index built at open).
         let cout = dir.file("g.cadj").display().to_string();
         dispatch(&strs(&["compress", &out, &cout])).unwrap();
-        assert!(dispatch(&strs(&["run", &cout, "--cache-mb", "1"])).is_err());
+        dispatch(&strs(&[
+            "run",
+            &cout,
+            "--cache-mb",
+            "1",
+            "--block-size",
+            "4096",
+            "--paged-threshold",
+            "1.0",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn compressed_outputs_end_to_end() {
+        let dir = ScratchDir::new("cli-compout").unwrap();
+        // gen --compress emits a MISADJC1 file directly.
+        let cadj = dir.file("g.cadj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "400",
+            "--edges",
+            "800",
+            "--compress",
+            &cadj,
+        ]))
+        .unwrap();
+        dispatch(&strs(&["stats", &cadj])).unwrap();
+        dispatch(&strs(&["run", &cadj, "--algo", "greedy"])).unwrap();
+
+        // sort --compress: plain input, compressed degree-sorted output.
+        let adj = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "400",
+            "--edges",
+            "800",
+            &adj,
+        ]))
+        .unwrap();
+        let sorted = dir.file("g.sorted.cadj").display().to_string();
+        dispatch(&strs(&["sort", &adj, &sorted, "--compress"])).unwrap();
+        dispatch(&strs(&["run", &sorted, "--algo", "twok", "--rounds", "2"])).unwrap();
+
+        // update compact --format compressed switches the base format;
+        // the pipeline keeps running on it.
+        let ops = dir.file("edits.txt");
+        std::fs::write(&ops, "+ 0 399\n").unwrap();
+        dispatch(&strs(&[
+            "update",
+            "append",
+            &adj,
+            "--ops",
+            &ops.display().to_string(),
+        ]))
+        .unwrap();
+        dispatch(&strs(&["update", "apply", &adj])).unwrap();
+        let compacted = dir.file("g2.cadj").display().to_string();
+        dispatch(&strs(&[
+            "update",
+            "compact",
+            &adj,
+            &compacted,
+            "--format",
+            "compressed",
+        ]))
+        .unwrap();
+        dispatch(&strs(&["update", "status", &compacted])).unwrap();
+        dispatch(&strs(&[
+            "run", &compacted, "--algo", "twok", "--rounds", "1",
+        ]))
+        .unwrap();
+        assert!(dispatch(&strs(&[
+            "update", "compact", &adj, &compacted, "--format", "zip",
+        ]))
+        .is_err());
     }
 
     #[test]

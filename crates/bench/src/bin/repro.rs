@@ -8,6 +8,11 @@
 //!   all        # everything (dataset suite computed once)
 //! ```
 //!
+//! `repro parallel` additionally accepts `--threads N` (top worker count
+//! of the reported speedup, default 4) and `--min-speedup X` (fail when
+//! the steady-state speedup falls short; skipped on machines with fewer
+//! than `N` hardware threads).
+//!
 //! Environment: `REPRO_SCALE` (default 1.0) scales analogue/sweep sizes,
 //! `REPRO_GRAPHS_PER_BETA` (default 3) controls sweep averaging.
 
@@ -30,7 +35,7 @@ fn main() {
         "fig10" => fig10::run(),
         "io" => io::run(),
         "pager" => pager::run(),
-        "parallel" => parallel::run(),
+        "parallel" => parallel::run_args(&args[1..]),
         "churn" => churn::run(),
         "cascade" => cascade::run(),
         "ablation" => ablation::run(),

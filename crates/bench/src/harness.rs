@@ -59,6 +59,40 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, start.elapsed())
 }
 
+/// Wall-clock of a two-phase measurement: one-time setup (file opens,
+/// page-cache warm-up, index builds) against the steady-state scan work
+/// that a parallel speedup must be computed from. Folding setup into one
+/// undifferentiated wall time understates scaling — setup is identical
+/// at every thread count, so it dilutes the ratio toward 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SplitTimes {
+    /// Milliseconds of one-time setup.
+    pub setup_ms: f64,
+    /// Milliseconds of steady-state scan work.
+    pub scan_ms: f64,
+}
+
+impl SplitTimes {
+    /// Total wall-clock of both phases.
+    pub fn wall_ms(&self) -> f64 {
+        self.setup_ms + self.scan_ms
+    }
+}
+
+/// Times `setup` then `work` separately, handing `work` the setup value.
+pub fn timed_split<A, B>(
+    setup: impl FnOnce() -> A,
+    work: impl FnOnce(&A) -> B,
+) -> (A, B, SplitTimes) {
+    let start = Instant::now();
+    let a = setup();
+    let setup_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let b = work(&a);
+    let scan_ms = start.elapsed().as_secs_f64() * 1e3;
+    (a, b, SplitTimes { setup_ms, scan_ms })
+}
+
 /// Runs the full six-algorithm suite of Table 5 on `graph`:
 /// `DynamicUpdate`, `STXXL` (time-forward processing), `Baseline`,
 /// one-k/two-k after Baseline, `Greedy`, one-k/two-k after Greedy.

@@ -9,11 +9,15 @@
 //! * [`Executor::Sequential`] — one thread folds the records in storage
 //!   order, exactly the paper's access model and byte-for-byte the
 //!   pre-engine behaviour;
-//! * [`Executor::Parallel`] — a reader thread streams decoded
-//!   [`RecordBlock`]s over a bounded queue to `N` `std::thread` workers;
-//!   each worker folds its blocks into private shards, and the shards
-//!   are merged **in block order**, so the output is identical at every
-//!   thread count.
+//! * [`Executor::Parallel`] — a reader thread streams hand-out units
+//!   over a bounded queue to `N` `std::thread` workers; each worker
+//!   folds its units into private shards, and the shards are merged
+//!   **in unit order**, so the output is identical at every thread
+//!   count. When the backend implements [`mis_graph::RawScan`] (the
+//!   on-disk formats do), the reader only *frames* raw byte ranges and
+//!   each worker decodes its own units locally (the `raw` submodule),
+//!   so compressed-file decompression scales with the worker count
+//!   instead of serialising on the reader.
 //!
 //! Two execution shapes cover all of the paper's passes:
 //!
@@ -47,8 +51,10 @@ use mis_graph::{GraphScan, NeighborAccess, RecordBlock, VertexId};
 
 pub mod passes;
 mod queue;
+mod raw;
 
 use queue::{BoundedQueue, CloseOnDrop};
+use raw::{fold_ordered_raw, run_pass_raw};
 
 /// Default number of records per hand-out block.
 ///
@@ -56,6 +62,14 @@ use queue::{BoundedQueue, CloseOnDrop};
 /// that a 100k-vertex graph still splits into dozens of blocks for load
 /// balancing.
 pub const DEFAULT_BLOCK_RECORDS: usize = 4096;
+
+/// Default byte budget per raw hand-out unit (see
+/// [`ParallelConfig::unit_bytes`]).
+///
+/// A quarter-megabyte unit amortises queue traffic while keeping dozens
+/// of units in flight even for modest graphs, and forces power-law hub
+/// records larger than this to split across workers.
+pub const DEFAULT_UNIT_BYTES: usize = 256 * 1024;
 
 /// One fold over the adjacency records, split into mergeable shards.
 ///
@@ -104,6 +118,11 @@ pub struct ParallelConfig {
     /// Bounded-queue depth in blocks: how far the reader may run ahead
     /// of the slowest fold.
     pub queue_blocks: usize,
+    /// Byte budget per raw hand-out unit when the backend supports raw
+    /// scans ([`mis_graph::RawScan`]): records larger than this are
+    /// split across units so one power-law hub cannot serialise the
+    /// decode (minimum 1; see [`DEFAULT_UNIT_BYTES`]).
+    pub unit_bytes: usize,
 }
 
 impl Default for ParallelConfig {
@@ -112,6 +131,7 @@ impl Default for ParallelConfig {
             threads: available_threads(),
             block_records: DEFAULT_BLOCK_RECORDS,
             queue_blocks: 8,
+            unit_bytes: DEFAULT_UNIT_BYTES,
         }
     }
 }
@@ -183,7 +203,10 @@ impl Executor {
                 graph.scan(&mut |v, ns| pass.visit(&mut shard, v, ns))?;
                 Ok(pass.finish(shard))
             }
-            Executor::Parallel(cfg) => run_pass_parallel(graph, pass, cfg),
+            Executor::Parallel(cfg) => match graph.raw_scan() {
+                Some(r) => run_pass_raw(r, pass, cfg),
+                None => run_pass_parallel(graph, pass, cfg),
+            },
         }
     }
 
@@ -203,6 +226,9 @@ impl Executor {
         match self {
             Executor::Sequential => graph.scan(f),
             Executor::Parallel(cfg) => {
+                if let Some(r) = graph.raw_scan() {
+                    return fold_ordered_raw(r, cfg, f);
+                }
                 let queue: BoundedQueue<RecordBlock> = BoundedQueue::new(cfg.queue_blocks.max(1));
                 std::thread::scope(|s| {
                     let reader = s.spawn(|| {
@@ -364,6 +390,7 @@ mod tests {
                     threads,
                     block_records,
                     queue_blocks: 2,
+                    ..ParallelConfig::default()
                 });
                 let par = exec.run_pass(&ordered, &CountPass).unwrap();
                 assert_eq!(par, seq, "threads {threads}, block {block_records}");
@@ -384,6 +411,7 @@ mod tests {
                 threads,
                 block_records: 13,
                 queue_blocks: 3,
+                ..ParallelConfig::default()
             });
             let par = exec.run_pass(&ordered, &SequencePass).unwrap();
             assert_eq!(par, seq, "threads {threads}");

@@ -37,6 +37,7 @@ fn executors() -> Vec<Executor> {
                 threads,
                 block_records,
                 queue_blocks: 2,
+                ..ParallelConfig::default()
             }));
         }
     }

@@ -1,0 +1,182 @@
+//! Chunked slice access over a byte stream.
+//!
+//! The varint fast paths in [`crate::varint`] decode from `&[u8]`
+//! slices; on-disk scans read through [`crate::BlockReader`], a `Read`
+//! impl. [`ChunkBuf`] bridges the two: it buffers a large window of the
+//! stream, hands out the buffered bytes as one contiguous slice, and
+//! refills (compacting, growing when a single logical record outgrows
+//! the window) when a decoder reports it needs more bytes. Decoders
+//! simply retry their whole attempt after a refill — the buffer doubles
+//! when full, so even a record far larger than the chunk size costs
+//! `O(len)` amortised work.
+//!
+//! The win over decoding through `Read` directly is mechanical but
+//! large: the per-byte path of `read_exact(&mut [u8; 1])` through a
+//! `dyn`-dispatched reader is replaced by slice indexing in a tight
+//! loop, which is what lets gap-compressed adjacency decode keep up
+//! with raw scans (ROADMAP item 1).
+
+use std::io::{self, Read};
+
+/// Minimum refill granularity; tiny configured chunk sizes still make
+/// progress through multi-byte values.
+const MIN_CHUNK: usize = 64;
+
+/// A growable, compacting window over a byte stream, exposing buffered
+/// bytes as a slice for the chunked varint decoders.
+#[derive(Debug)]
+pub struct ChunkBuf<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    /// Absolute stream offset of `buf[start]`.
+    abs: u64,
+    eof: bool,
+}
+
+impl<R: Read> ChunkBuf<R> {
+    /// Wraps `inner`, reading in chunks of roughly `chunk_size` bytes.
+    pub fn new(inner: R, chunk_size: usize) -> Self {
+        Self::with_consumed(inner, 0, chunk_size)
+    }
+
+    /// Like [`ChunkBuf::new`], but records that `already_consumed` bytes
+    /// of the stream were read before the wrap (e.g. a validated file
+    /// header), so [`ChunkBuf::position`] reports true file offsets.
+    pub fn with_consumed(inner: R, already_consumed: u64, chunk_size: usize) -> Self {
+        Self {
+            inner,
+            buf: vec![0; chunk_size.max(MIN_CHUNK)],
+            start: 0,
+            end: 0,
+            abs: already_consumed,
+            eof: false,
+        }
+    }
+
+    /// The buffered, not-yet-consumed bytes.
+    #[inline]
+    pub fn available(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
+    }
+
+    /// Absolute stream offset of the first available byte.
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.abs
+    }
+
+    /// Whether the underlying stream reported end-of-file.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Marks `n` buffered bytes as consumed.
+    ///
+    /// # Panics
+    /// If `n` exceeds the available bytes.
+    #[inline]
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.end - self.start, "consumed beyond the window");
+        self.start += n;
+        self.abs += n as u64;
+    }
+
+    /// Pulls more bytes from the stream, compacting first and doubling
+    /// the buffer when the unconsumed window already fills it. Returns
+    /// `false` when the stream is exhausted and nothing was added — the
+    /// caller's pending decode is then a truncation.
+    pub fn refill(&mut self) -> io::Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.end == self.buf.len() {
+            // One logical record outgrew the window: double it.
+            self.buf.resize(self.buf.len() * 2, 0);
+        }
+        let mut added = 0;
+        while self.end < self.buf.len() {
+            match self.inner.read(&mut self.buf[self.end..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.end += n;
+                    added += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(added > 0)
+    }
+
+    /// Refills until at least `n` bytes are available; `false` if the
+    /// stream ends first.
+    pub fn fill_at_least(&mut self, n: usize) -> io::Result<bool> {
+        while self.available().len() < n {
+            if !self.refill()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn windows_slide_and_track_positions() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut c = ChunkBuf::with_consumed(Cursor::new(&data), 1000, 64);
+        assert_eq!(c.available().len(), 0);
+        assert!(c.refill().unwrap());
+        assert_eq!(c.position(), 1000);
+        assert_eq!(c.available()[0], 0);
+        c.consume(10);
+        assert_eq!(c.position(), 1010);
+        assert_eq!(c.available()[0], 10);
+        // Drain everything.
+        let mut total = 10;
+        loop {
+            let n = c.available().len();
+            c.consume(n);
+            total += n;
+            if !c.refill().unwrap() {
+                break;
+            }
+        }
+        assert_eq!(total, 256);
+        assert_eq!(c.position(), 1000 + 256);
+        assert!(c.is_eof());
+        assert!(!c.refill().unwrap());
+    }
+
+    #[test]
+    fn grows_when_a_record_outgrows_the_window() {
+        let data = vec![7u8; 4096];
+        let mut c = ChunkBuf::new(Cursor::new(&data), 64);
+        // Never consume: each refill must still make progress by growing.
+        while c.refill().unwrap() {}
+        assert_eq!(c.available().len(), 4096);
+        assert_eq!(c.available()[4095], 7);
+    }
+
+    #[test]
+    fn fill_at_least_reports_short_streams() {
+        let data = vec![1u8; 10];
+        let mut c = ChunkBuf::new(Cursor::new(&data), 64);
+        assert!(c.fill_at_least(10).unwrap());
+        assert!(!c.fill_at_least(11).unwrap());
+    }
+}

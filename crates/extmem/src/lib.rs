@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod block;
+pub mod chunk;
 pub mod codec;
 pub mod pager;
 pub mod pq;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod varint;
 
 pub use block::{BlockReader, BlockWriter, DEFAULT_BLOCK_SIZE};
+pub use chunk::ChunkBuf;
 pub use pager::{BufferPool, FilePageSource, PageSource, PagerConfig, PolicyKind};
 pub use pq::ExternalPq;
 pub use record::Record;

@@ -17,7 +17,7 @@ use mis_extmem::{IoStats, DEFAULT_BLOCK_SIZE};
 
 use crate::adjfile::AdjFile;
 use crate::compressed::CompressedAdjFile;
-use crate::scan::{GraphScan, RecordBlock};
+use crate::scan::{GraphScan, RawScan, RecordBlock};
 use crate::VertexId;
 
 /// Either flavour of on-disk adjacency file, behind one scan interface.
@@ -110,6 +110,10 @@ impl GraphScan for AnyAdjFile {
 
     fn storage(&self) -> &'static str {
         self.as_scan().storage()
+    }
+
+    fn raw_scan(&self) -> Option<&dyn RawScan> {
+        self.as_scan().raw_scan()
     }
 }
 

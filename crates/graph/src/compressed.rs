@@ -50,12 +50,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mis_extmem::varint::{
-    encode_varint_padded, read_ascending_gaps, read_varint, write_ascending_gaps, write_varint,
-    write_varint_padded,
+    decode_ascending_gaps_slice, decode_gaps_from, decode_varint_slice, encode_varint_padded,
+    read_varint, varint_prefix_within, varint_run_len, write_ascending_gaps, write_varint,
+    write_varint_padded, SliceError, MAX_VARINT_BYTES,
 };
-use mis_extmem::{BlockReader, BlockWriter, IoStats, DEFAULT_BLOCK_SIZE};
+use mis_extmem::{BlockReader, BlockWriter, ChunkBuf, IoStats, DEFAULT_BLOCK_SIZE};
 
-use crate::scan::{GraphScan, RecordBlock};
+use crate::scan::{
+    DecodedPiece, DecodedUnit, GraphScan, RawScan, RawScanLimits, RawUnit, RawUnitKind, RecordBlock,
+};
 use crate::VertexId;
 
 const MAGIC: &[u8; 8] = b"MISADJC1";
@@ -81,19 +84,22 @@ impl CompressedRecordIndex {
     }
 
     /// Builds the index with one accounted sequential scan of `file`.
+    ///
+    /// Records are **framed, not decoded**: [`varint_run_len`] counts
+    /// gap terminators a word at a time, so the build runs at close to
+    /// memory bandwidth. Gap values are validated later, when a record
+    /// is actually fetched and decoded.
     pub fn build(file: &CompressedAdjFile) -> io::Result<Self> {
         file.stats.record_scan();
         let n = file.num_vertices();
         let mut offsets = vec![u64::MAX; n];
         let mut lens = vec![0u32; n];
-        let mut reader = file.validated_reader()?;
-        let mut scratch: Vec<VertexId> = Vec::new();
+        let mut chunk = file.validated_reader()?;
         for _ in 0..n {
-            let start = reader.pos();
-            let vertex = read_vertex(&mut reader)?;
-            let degree = read_varint(&mut reader)? as usize;
-            scratch.clear();
-            read_ascending_gaps(&mut reader, &mut scratch, degree)?;
+            let start = chunk.position();
+            let framed = frame_record(&mut chunk, file.num_vertices)?;
+            let vertex = framed.vertex;
+            chunk.consume(framed.total);
             let slot = offsets.get_mut(vertex as usize).ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -107,7 +113,7 @@ impl CompressedRecordIndex {
                 ));
             }
             *slot = start;
-            lens[vertex as usize] = (reader.pos() - start) as u32;
+            lens[vertex as usize] = (chunk.position() - start) as u32;
         }
         Ok(Self { offsets, lens })
     }
@@ -144,8 +150,8 @@ impl CompressedRecordIndex {
     }
 }
 
-/// Counts bytes consumed from an inner reader, so the index builder can
-/// recover file offsets from a purely sequential decode.
+/// Counts bytes consumed from an inner reader; the header decode runs
+/// through it so the [`ChunkBuf`] that follows knows its file offset.
 struct CountingReader<R> {
     inner: R,
     pos: u64,
@@ -169,11 +175,64 @@ impl<R: Read> Read for CountingReader<R> {
     }
 }
 
-/// Decodes one vertex-id varint, rejecting values beyond the id space.
-fn read_vertex<R: Read>(r: &mut R) -> io::Result<VertexId> {
-    let raw = read_varint(r)?;
-    VertexId::try_from(raw)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "vertex id overflows u32"))
+/// One record framed (not decoded) at the front of a [`ChunkBuf`]:
+/// `total` bytes are buffered and available, of which the first `hdr`
+/// are the vertex + degree varints.
+#[derive(Debug, Clone, Copy)]
+struct FramedRecord {
+    vertex: VertexId,
+    degree: usize,
+    hdr: usize,
+    total: usize,
+}
+
+/// Parses the `vertex` + `degree` header varints at the front of `buf`,
+/// validating both against the id space / vertex count.
+fn parse_record_header(
+    buf: &[u8],
+    num_vertices: u64,
+) -> Result<(VertexId, usize, usize), SliceError> {
+    let (vraw, a) = decode_varint_slice(buf)?;
+    if vraw > u64::from(u32::MAX) {
+        return Err(SliceError::Invalid("vertex id overflows u32"));
+    }
+    let (degree, b) = decode_varint_slice(&buf[a..])?;
+    // A simple-graph record can never list more neighbours than there
+    // are vertices; treating larger degrees as corruption also stops a
+    // truncated/garbage file from driving a huge allocation.
+    if degree > num_vertices {
+        return Err(SliceError::Invalid("degree exceeds vertex count"));
+    }
+    Ok((vraw as VertexId, degree as usize, a + b))
+}
+
+/// Frames the next whole record at the front of `chunk`, refilling (and
+/// growing) the window until header **and** gap run are fully buffered.
+/// Nothing is consumed; on success `chunk.available()[..total]` is the
+/// complete encoded record.
+fn frame_record<R: Read>(chunk: &mut ChunkBuf<R>, num_vertices: u64) -> io::Result<FramedRecord> {
+    loop {
+        let attempt = parse_record_header(chunk.available(), num_vertices).and_then(
+            |(vertex, degree, hdr)| {
+                let run = varint_run_len(&chunk.available()[hdr..], degree)?;
+                Ok(FramedRecord {
+                    vertex,
+                    degree,
+                    hdr,
+                    total: hdr + run,
+                })
+            },
+        );
+        match attempt {
+            Ok(framed) => return Ok(framed),
+            Err(SliceError::NeedMore) => {
+                if !chunk.refill()? {
+                    return Err(SliceError::NeedMore.into_io_error("adjacency record"));
+                }
+            }
+            Err(e) => return Err(e.into_io_error("adjacency record")),
+        }
+    }
 }
 
 /// Streaming writer for compressed adjacency files.
@@ -416,12 +475,14 @@ impl CompressedAdjFile {
         &self.stats
     }
 
-    /// Opens a fresh block reader positioned after the header, failing
+    /// Opens a fresh chunked reader positioned after the header, failing
     /// fast when the magic or the header `|V|`/`|E|` no longer match the
     /// metadata captured at [`CompressedAdjFile::open`] — a mismatch
     /// means the file was replaced or corrupted, and decoding gap runs
-    /// against stale metadata would produce garbage records.
-    fn validated_reader(&self) -> io::Result<CountingReader<BlockReader<File>>> {
+    /// against stale metadata would produce garbage records. The
+    /// returned [`ChunkBuf`]'s position is the true file offset of the
+    /// first record.
+    fn validated_reader(&self) -> io::Result<ChunkBuf<CountingReader<BlockReader<File>>>> {
         let file = File::open(&self.path)?;
         let mut reader = CountingReader::new(BlockReader::with_block_size(
             file,
@@ -450,7 +511,8 @@ impl CompressedAdjFile {
                 ),
             ));
         }
-        Ok(reader)
+        let consumed = reader.pos();
+        Ok(ChunkBuf::with_consumed(reader, consumed, self.block_size))
     }
 }
 
@@ -463,34 +525,50 @@ impl GraphScan for CompressedAdjFile {
         self.num_edges
     }
 
+    /// Chunked sequential decode: each record is framed in the buffered
+    /// window (`frame_record`) and its gap run decoded straight off the
+    /// slice by the branch-reduced fast path — no per-byte `Read` calls.
     fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
         self.stats.record_scan();
-        let mut reader = self.validated_reader()?;
+        let mut chunk = self.validated_reader()?;
         let mut neighbors: Vec<VertexId> = Vec::new();
         for _ in 0..self.num_vertices {
-            let vertex = read_vertex(&mut reader)?;
-            let degree = read_varint(&mut reader)? as usize;
+            let framed = frame_record(&mut chunk, self.num_vertices)?;
             neighbors.clear();
-            read_ascending_gaps(&mut reader, &mut neighbors, degree)?;
-            f(vertex, &neighbors);
+            decode_ascending_gaps_slice(
+                &chunk.available()[framed.hdr..framed.total],
+                &mut neighbors,
+                framed.degree,
+            )
+            .map_err(|e| e.into_io_error("adjacency record"))?;
+            chunk.consume(framed.total);
+            f(framed.vertex, &neighbors);
         }
         Ok(())
     }
 
     /// Native block hand-out: gap runs decode **straight into** each
-    /// [`RecordBlock`]'s shared neighbour buffer, skipping the default
-    /// implementation's per-record re-buffering copy — this is the path
-    /// the parallel engine's reader thread drives.
+    /// [`RecordBlock`]'s shared neighbour buffer through the chunked
+    /// slice decoder, skipping the default implementation's per-record
+    /// re-buffering copy.
     fn scan_blocks(&self, target_records: usize, f: &mut dyn FnMut(RecordBlock)) -> io::Result<()> {
         self.stats.record_scan();
-        let mut reader = self.validated_reader()?;
+        let mut chunk = self.validated_reader()?;
         let target = target_records.max(1);
         let nbr_cap = target.saturating_mul(16);
         let mut block = RecordBlock::with_seq(0);
         for _ in 0..self.num_vertices {
-            let vertex = read_vertex(&mut reader)?;
-            let degree = read_varint(&mut reader)? as usize;
-            block.push_with(vertex, |dst| read_ascending_gaps(&mut reader, dst, degree))?;
+            let framed = frame_record(&mut chunk, self.num_vertices)?;
+            block.push_with(framed.vertex, |dst| {
+                decode_ascending_gaps_slice(
+                    &chunk.available()[framed.hdr..framed.total],
+                    dst,
+                    framed.degree,
+                )
+                .map(|_| ())
+                .map_err(|e| e.into_io_error("adjacency record"))
+            })?;
+            chunk.consume(framed.total);
             if block.len() >= target || block.edge_entries() >= nbr_cap {
                 let seq = block.seq() + 1;
                 f(std::mem::replace(&mut block, RecordBlock::with_seq(seq)));
@@ -504,6 +582,184 @@ impl GraphScan for CompressedAdjFile {
 
     fn storage(&self) -> &'static str {
         "adj-file-compressed"
+    }
+
+    fn raw_scan(&self) -> Option<&dyn RawScan> {
+        Some(self)
+    }
+}
+
+impl RawScan for CompressedAdjFile {
+    /// Frames units without decoding gap values: record boundaries come
+    /// from [`varint_run_len`]'s word-at-a-time terminator count, so the
+    /// reader thread runs at close to memory bandwidth and the actual
+    /// decode lands on the workers. Records larger than
+    /// `limits.unit_bytes` are split into [`RawUnitKind::Piece`] units on
+    /// whole-varint boundaries for degree-balanced hand-out.
+    fn scan_raw(
+        &self,
+        limits: RawScanLimits,
+        f: &mut dyn FnMut(RawUnit) -> bool,
+    ) -> io::Result<()> {
+        self.stats.record_scan();
+        let mut chunk = self.validated_reader()?;
+        let target = limits.target_records.max(1);
+        // Enough room for a record header plus one max-width varint, so
+        // splitting always makes progress.
+        let budget = limits.unit_bytes.max(3 * MAX_VARINT_BYTES);
+        let mut seq = 0u64;
+        let mut unit: Vec<u8> = Vec::new();
+        let mut records = 0usize;
+        for _ in 0..self.num_vertices {
+            let framed = frame_record(&mut chunk, self.num_vertices)?;
+            if framed.total <= budget {
+                if records > 0 && (records >= target || unit.len() + framed.total > budget) {
+                    let u = RawUnit::new(
+                        seq,
+                        RawUnitKind::Records { records },
+                        std::mem::take(&mut unit),
+                    );
+                    seq += 1;
+                    records = 0;
+                    if !f(u) {
+                        return Ok(());
+                    }
+                }
+                unit.extend_from_slice(&chunk.available()[..framed.total]);
+                records += 1;
+                chunk.consume(framed.total);
+                continue;
+            }
+            // Oversized record: flush pending whole records, then split.
+            if records > 0 {
+                let u = RawUnit::new(
+                    seq,
+                    RawUnitKind::Records { records },
+                    std::mem::take(&mut unit),
+                );
+                seq += 1;
+                records = 0;
+                if !f(u) {
+                    return Ok(());
+                }
+            }
+            let avail = chunk.available();
+            let mut pos = framed.hdr;
+            let mut remaining = framed.degree;
+            let mut first = true;
+            let mut stop = false;
+            loop {
+                let room = if first { budget - framed.hdr } else { budget };
+                let (pb, pc) = varint_prefix_within(&avail[pos..framed.total], room);
+                debug_assert!(pc > 0 || remaining == 0, "split must make progress");
+                let last = pc == remaining;
+                let bytes = if first {
+                    avail[..framed.hdr + pb].to_vec()
+                } else {
+                    avail[pos..pos + pb].to_vec()
+                };
+                let u = RawUnit::new(
+                    seq,
+                    RawUnitKind::Piece {
+                        vertex: framed.vertex,
+                        count: pc,
+                        first,
+                        last,
+                    },
+                    bytes,
+                );
+                seq += 1;
+                pos += pb;
+                remaining -= pc;
+                first = false;
+                if !f(u) {
+                    stop = true;
+                    break;
+                }
+                if last {
+                    break;
+                }
+            }
+            if stop {
+                return Ok(());
+            }
+            chunk.consume(framed.total);
+        }
+        if records > 0 {
+            f(RawUnit::new(seq, RawUnitKind::Records { records }, unit));
+        }
+        Ok(())
+    }
+
+    fn decode_unit(&self, unit: RawUnit) -> io::Result<DecodedUnit> {
+        let bad = |e: SliceError| e.into_io_error("raw unit");
+        match unit.kind() {
+            RawUnitKind::Records { records } => {
+                let buf = unit.bytes();
+                let mut block = RecordBlock::with_seq(unit.seq());
+                let mut pos = 0usize;
+                for _ in 0..records {
+                    let (vertex, degree, hdr) =
+                        parse_record_header(&buf[pos..], self.num_vertices).map_err(bad)?;
+                    pos += hdr;
+                    block.push_with(vertex, |dst| {
+                        let n =
+                            decode_ascending_gaps_slice(&buf[pos..], dst, degree).map_err(bad)?;
+                        pos += n;
+                        Ok(())
+                    })?;
+                }
+                if pos != buf.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "raw unit framing mismatch: trailing bytes after last record",
+                    ));
+                }
+                Ok(DecodedUnit::Block(block))
+            }
+            RawUnitKind::Piece {
+                vertex,
+                count,
+                first,
+                last,
+            } => {
+                let buf = unit.bytes();
+                let mut values: Vec<VertexId> = Vec::new();
+                let (degree, consumed, relative) = if first {
+                    let (v, degree, hdr) =
+                        parse_record_header(buf, self.num_vertices).map_err(bad)?;
+                    if v != vertex {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "raw piece framing mismatch: vertex header disagrees",
+                        ));
+                    }
+                    let n = decode_ascending_gaps_slice(&buf[hdr..], &mut values, count)
+                        .map_err(bad)?;
+                    (degree, hdr + n, false)
+                } else {
+                    // Continuation pieces decode relative to base 0; the
+                    // assembler re-anchors them on the predecessor's last
+                    // absolute value.
+                    let n = decode_gaps_from(buf, &mut values, count, 0).map_err(bad)?;
+                    (0, n, true)
+                };
+                if consumed != buf.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "raw piece framing mismatch: trailing bytes",
+                    ));
+                }
+                Ok(DecodedUnit::Piece(DecodedPiece {
+                    vertex,
+                    degree,
+                    values,
+                    relative,
+                    first,
+                    last,
+                }))
+            }
+        }
     }
 }
 
@@ -776,6 +1032,65 @@ mod tests {
             let expect: Vec<u64> = (0..seqs.len() as u64).collect();
             assert_eq!(seqs, expect, "target {target}: seq numbers in order");
         }
+    }
+
+    #[test]
+    fn raw_scan_replays_scan_with_piece_splitting() {
+        use crate::scan::assert_raw_replays_scan;
+        let g = mis_gen_free_plrg(800);
+        let dir = ScratchDir::new("cadj-raw").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), stats, 512).unwrap();
+        assert_raw_replays_scan(&file);
+    }
+
+    #[test]
+    fn raw_scan_counts_one_scan_and_same_blocks_as_scan() {
+        let g = mis_gen_free_plrg(600);
+        let dir = ScratchDir::new("cadj-raw-io").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), Arc::clone(&stats), 512).unwrap();
+        let before = stats.snapshot();
+        file.scan(&mut |_, _| {}).unwrap();
+        let scan_delta = stats.snapshot().since(&before);
+        let before = stats.snapshot();
+        let raw = file.raw_scan().unwrap();
+        raw.scan_raw(
+            crate::scan::RawScanLimits {
+                target_records: 64,
+                unit_bytes: 4096,
+            },
+            &mut |_| true,
+        )
+        .unwrap();
+        let raw_delta = stats.snapshot().since(&before);
+        assert_eq!(raw_delta.scans_started, 1);
+        assert_eq!(
+            raw_delta.blocks_read, scan_delta.blocks_read,
+            "raw framing must move the same blocks as a decoded scan"
+        );
+    }
+
+    #[test]
+    fn raw_scan_stops_early_without_error() {
+        let g = mis_gen_free_plrg(600);
+        let dir = ScratchDir::new("cadj-raw-stop").unwrap();
+        let stats = IoStats::shared();
+        let file = compress_adj(&g, &dir.file("g.cadj"), stats, 512).unwrap();
+        let raw = file.raw_scan().unwrap();
+        let mut seen = 0usize;
+        raw.scan_raw(
+            crate::scan::RawScanLimits {
+                target_records: 4,
+                unit_bytes: 4096,
+            },
+            &mut |_| {
+                seen += 1;
+                seen < 3
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, 3, "framing stops as soon as the sink declines");
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub use compressed::{
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
 pub use raccess::{NeighborAccess, RandomAccessGraph, RecordIndex};
-pub use scan::{GraphScan, OrderedCsr, RecordBlock};
+pub use scan::{
+    DecodedPiece, DecodedUnit, GraphScan, OrderedCsr, PieceAssembler, RawScan, RawScanLimits,
+    RawUnit, RawUnitKind, RecordBlock,
+};
 
 /// Vertex identifier. Graphs with up to `u32::MAX` vertices are supported;
 /// the paper's largest graph (Clueweb12) has 978 million vertices, well

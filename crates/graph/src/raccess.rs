@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use std::io;
 
 use mis_extmem::pager::{open_file_source, BufferPool, FilePageSource, PagerConfig};
-use mis_extmem::varint::{read_ascending_gaps, read_varint};
+use mis_extmem::varint::{decode_ascending_gaps_slice, decode_varint_slice};
 
 use crate::adjfile::{AdjFile, HEADER_BYTES};
 use crate::compressed::{CompressedAdjFile, CompressedRecordIndex};
@@ -378,18 +378,21 @@ fn fetch_compressed(
             "truncated compressed adjacency record",
         ));
     }
-    let mut cursor: &[u8] = raw;
-    let vertex = read_varint(&mut cursor)?;
+    // The record is fully in memory: decode it with the chunked slice
+    // fast path. Running off the end of `raw` means the index length
+    // disagreed with the record — a truncation, not a refill condition.
+    let to_io = |e: mis_extmem::varint::SliceError| e.into_io_error("compressed adjacency record");
+    let (vertex, a) = decode_varint_slice(raw).map_err(to_io)?;
     if vertex != u64::from(v) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("record index out of sync: found vertex {vertex} at {v}'s offset"),
         ));
     }
-    let degree = read_varint(&mut cursor)? as usize;
+    let (degree, b) = decode_varint_slice(&raw[a..]).map_err(to_io)?;
     let mut nbrs = std::mem::take(nbrs);
     nbrs.clear();
-    read_ascending_gaps(&mut cursor, &mut nbrs, degree)?;
+    decode_ascending_gaps_slice(&raw[a + b..], &mut nbrs, degree as usize).map_err(to_io)?;
     Ok(nbrs)
 }
 

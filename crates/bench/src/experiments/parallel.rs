@@ -23,13 +23,14 @@
 //! and the `--min-speedup` assertion is skipped when the hardware cannot
 //! possibly satisfy it.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mis_core::engine::available_threads;
 use mis_core::{prove_maximal_with, Executor, Greedy, SwapConfig, TwoKSwap};
 use mis_extmem::{IoSnapshot, IoStats, ScratchDir, SortConfig};
 use mis_graph::{build_adj_file, compress_adj, degree_sort_adj_file, AnyAdjFile, GraphScan};
+use mis_obs::{Trace, TraceReport};
 
 use crate::harness::{self, SplitTimes};
 
@@ -37,7 +38,7 @@ use crate::harness::{self, SplitTimes};
 pub const DEFAULT_JSON_PATH: &str = "BENCH_parallel.json";
 
 /// Command-line configuration of the experiment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParallelArgs {
     /// The top worker count the speedup is measured at (versus 1 worker).
     pub threads: usize,
@@ -46,6 +47,11 @@ pub struct ParallelArgs {
     /// (with a printed note) when the machine has fewer hardware threads
     /// than `threads` — a single-core container cannot scale.
     pub min_speedup: Option<f64>,
+    /// Record a [`mis_obs`] trace of every measured side into this
+    /// Chrome-trace JSONL file. The experiment then also ingests its own
+    /// trace: per-side worker utilization and queue-wait land in the
+    /// JSON, and the per-phase report is printed at the end.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ParallelArgs {
@@ -53,6 +59,7 @@ impl Default for ParallelArgs {
         ParallelArgs {
             threads: 4,
             min_speedup: None,
+            trace: None,
         }
     }
 }
@@ -82,6 +89,10 @@ fn parse_args(args: &[String]) -> Result<ParallelArgs, String> {
                 }
                 parsed.min_speedup = Some(x);
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a value")?;
+                parsed.trace = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -99,6 +110,11 @@ struct Side {
     io: IoSnapshot,
     times: SplitTimes,
     maximal: bool,
+    /// Fraction of worker wall-time spent in decode/fold (from the side's
+    /// own trace; `None` when untraced or the backend spawned no workers).
+    worker_utilization: Option<f64>,
+    /// Total worker queue-wait in milliseconds (traced sides only).
+    queue_wait_ms: Option<f64>,
 }
 
 fn measure(path: &Path, block_size: usize, executor: Executor) -> Side {
@@ -108,6 +124,7 @@ fn measure(path: &Path, block_size: usize, executor: Executor) -> Side {
     let stats = IoStats::shared();
     let (file, pipeline, times) = harness::timed_split(
         || {
+            let _setup = mis_obs::span("phase", "setup");
             let file = AnyAdjFile::open_with_block_size(path, Arc::clone(&stats), block_size)
                 .expect("open");
             // Warm-up scan: pull the file into the OS page cache so the
@@ -118,6 +135,7 @@ fn measure(path: &Path, block_size: usize, executor: Executor) -> Side {
             file
         },
         |file| {
+            let _scan_span = mis_obs::span("phase", "scan");
             let scan = file.as_scan();
             let greedy = Greedy::with_executor(executor).run(scan);
             let config = SwapConfig::default().with_executor(executor);
@@ -137,16 +155,18 @@ fn measure(path: &Path, block_size: usize, executor: Executor) -> Side {
         io: stats.snapshot(),
         times,
         maximal: proof.is_maximal_independent(),
+        worker_utilization: None,
+        queue_wait_ms: None,
     }
 }
 
 fn side_json(side: &Side) -> String {
-    format!(
+    let mut json = format!(
         concat!(
             "{{\"storage\": \"{}\", \"backend\": \"{}\", \"threads\": {}, ",
             "\"is_size\": {}, \"rounds\": {}, \"file_scans\": {}, ",
             "\"blocks_read\": {}, \"bytes_read\": {}, \"maximal\": {}, ",
-            "\"setup_ms\": {:.2}, \"scan_ms\": {:.2}, \"wall_ms\": {:.2}}}"
+            "\"setup_ms\": {:.2}, \"scan_ms\": {:.2}, \"wall_ms\": {:.2}"
         ),
         side.storage,
         side.label,
@@ -160,7 +180,15 @@ fn side_json(side: &Side) -> String {
         side.times.setup_ms,
         side.times.scan_ms,
         side.times.wall_ms(),
-    )
+    );
+    if let Some(util) = side.worker_utilization {
+        json.push_str(&format!(", \"worker_utilization\": {util:.4}"));
+    }
+    if let Some(wait) = side.queue_wait_ms {
+        json.push_str(&format!(", \"queue_wait_ms\": {wait:.2}"));
+    }
+    json.push('}');
+    json
 }
 
 /// Steady-state speedup of `par(top)` over `par(1)` on one storage.
@@ -192,7 +220,7 @@ pub fn run_args(args: &[String]) {
         Ok(parsed) => run_with(parsed),
         Err(e) => {
             eprintln!("repro parallel: {e}");
-            eprintln!("usage: repro parallel [--threads N] [--min-speedup X]");
+            eprintln!("usage: repro parallel [--threads N] [--min-speedup X] [--trace FILE]");
             std::process::exit(2);
         }
     }
@@ -201,6 +229,9 @@ pub fn run_args(args: &[String]) {
 fn run_with(cli: ParallelArgs) {
     let n = harness::sweep_vertices().min(100_000);
     let block_size = 64 * 1024usize;
+    if cli.trace.is_some() {
+        mis_obs::set_enabled(true);
+    }
     println!(
         "== Execution engine: two-k workload across worker counts and storage backends \
          (P(α,β), β = 2.0, |V| ≈ {n}; {} hardware threads) ==",
@@ -244,11 +275,35 @@ fn run_with(cli: ParallelArgs) {
         workers.sort_unstable();
     }
 
+    // When tracing: drain the sink after each side so worker utilization
+    // and queue-wait attribute to that side alone, then fold every side's
+    // events into one combined timeline for the output file. (The first
+    // drain also clears the graph-build spans recorded above.)
+    let mut combined = Trace::default();
+    let traced = cli.trace.is_some();
+    if traced {
+        combined.extend(mis_obs::drain());
+    }
     let mut sides = Vec::new();
-    for path in &paths {
-        sides.push(measure(path, block_size, Executor::Sequential));
-        for &w in &workers {
-            sides.push(measure(path, block_size, Executor::parallel(w)));
+    {
+        let mut measure_traced = |path: &Path, executor: Executor| {
+            let mut side = measure(path, block_size, executor);
+            if traced {
+                let trace = mis_obs::drain();
+                let report = TraceReport::from_trace(&trace);
+                if !report.workers.is_empty() {
+                    side.worker_utilization = Some(report.worker_utilization());
+                    side.queue_wait_ms = Some(report.queue_wait_us / 1e3);
+                }
+                combined.extend(trace);
+            }
+            side
+        };
+        for path in &paths {
+            sides.push(measure_traced(path, Executor::Sequential));
+            for &w in &workers {
+                sides.push(measure_traced(path, Executor::parallel(w)));
+            }
         }
     }
 
@@ -335,6 +390,9 @@ fn run_with(cli: ParallelArgs) {
         t = cli.threads,
         h = available_threads()
     );
+    // The assertion only arms when requested *and* the machine can
+    // possibly satisfy it; the JSON records which case this run was.
+    let speedup_asserted = cli.min_speedup.is_some() && available_threads() >= cli.threads;
     if let Some(min) = cli.min_speedup {
         if available_threads() >= cli.threads {
             for (name, got) in [("plain", plain_speedup), ("compressed", comp_speedup)] {
@@ -373,7 +431,9 @@ fn run_with(cli: ParallelArgs) {
             "\"compressed_bytes\": {}}},\n",
             "  \"block_size\": {},\n",
             "  \"hardware_threads\": {},\n",
+            "  \"available_threads\": {},\n",
             "  \"speedup_threads\": {},\n",
+            "  \"speedup_asserted\": {},\n",
             "  \"sides\": [\n    {}\n  ],\n",
             "  \"plain_scan_speedup\": {:.4},\n",
             "  \"compressed_scan_speedup\": {:.4},\n",
@@ -385,8 +445,10 @@ fn run_with(cli: ParallelArgs) {
         file_bytes,
         comp_bytes,
         block_size,
+        mis_obs::hardware_threads(),
         available_threads(),
         cli.threads,
+        speedup_asserted,
         side_list,
         plain_speedup,
         comp_speedup,
@@ -397,6 +459,29 @@ fn run_with(cli: ParallelArgs) {
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("  wrote {out_path}"),
         Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+
+    // Write the combined timeline and ingest it: the round-trip through
+    // the JSONL file is deliberate — it exercises the same parse path
+    // `mis trace report` uses.
+    if let Some(trace_path) = &cli.trace {
+        combined.extend(mis_obs::drain());
+        mis_obs::set_enabled(false);
+        if let Err(e) = combined.save(trace_path) {
+            eprintln!("  could not write {}: {e}", trace_path.display());
+            return;
+        }
+        match TraceReport::load(trace_path) {
+            Ok(report) => {
+                println!(
+                    "  wrote {} ({} events)",
+                    trace_path.display(),
+                    report.num_events
+                );
+                print!("{}", report.render());
+            }
+            Err(e) => eprintln!("  could not re-read {}: {e}", trace_path.display()),
+        }
     }
 }
 
@@ -450,15 +535,23 @@ mod tests {
     #[test]
     fn cli_args_parse_and_reject() {
         assert_eq!(parse_args(&[]).unwrap(), ParallelArgs::default());
-        let args: Vec<String> = ["--threads", "8", "--min-speedup", "1.5"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--threads",
+            "8",
+            "--min-speedup",
+            "1.5",
+            "--trace",
+            "t.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(
             parse_args(&args).unwrap(),
             ParallelArgs {
                 threads: 8,
                 min_speedup: Some(1.5),
+                trace: Some(PathBuf::from("t.jsonl")),
             }
         );
         for bad in [
@@ -466,6 +559,7 @@ mod tests {
             vec!["--threads", "zero"],
             vec!["--threads", "0"],
             vec!["--min-speedup", "-1"],
+            vec!["--trace"],
             vec!["--frobnicate"],
         ] {
             let bad: Vec<String> = bad.iter().map(|s| s.to_string()).collect();

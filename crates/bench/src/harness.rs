@@ -1,7 +1,7 @@
 //! Shared machinery: run the six algorithms on a graph, time them, model
 //! their memory, and format result tables.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mis_core::{
     upper_bound_scan, Baseline, DynamicUpdate, Greedy, OneKSwap, SwapConfig, TfpMaximalIs, TwoKSwap,
@@ -53,45 +53,9 @@ impl DatasetRun {
     }
 }
 
-fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed())
-}
-
-/// Wall-clock of a two-phase measurement: one-time setup (file opens,
-/// page-cache warm-up, index builds) against the steady-state scan work
-/// that a parallel speedup must be computed from. Folding setup into one
-/// undifferentiated wall time understates scaling — setup is identical
-/// at every thread count, so it dilutes the ratio toward 1.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct SplitTimes {
-    /// Milliseconds of one-time setup.
-    pub setup_ms: f64,
-    /// Milliseconds of steady-state scan work.
-    pub scan_ms: f64,
-}
-
-impl SplitTimes {
-    /// Total wall-clock of both phases.
-    pub fn wall_ms(&self) -> f64 {
-        self.setup_ms + self.scan_ms
-    }
-}
-
-/// Times `setup` then `work` separately, handing `work` the setup value.
-pub fn timed_split<A, B>(
-    setup: impl FnOnce() -> A,
-    work: impl FnOnce(&A) -> B,
-) -> (A, B, SplitTimes) {
-    let start = Instant::now();
-    let a = setup();
-    let setup_ms = start.elapsed().as_secs_f64() * 1e3;
-    let start = Instant::now();
-    let b = work(&a);
-    let scan_ms = start.elapsed().as_secs_f64() * 1e3;
-    (a, b, SplitTimes { setup_ms, scan_ms })
-}
+// The timing primitives live in `mis_obs` (shared with the CLI and the
+// trace layer); re-exported here so experiment code keeps one import.
+pub use mis_obs::{timed, timed_split, SplitTimes};
 
 /// Runs the full six-algorithm suite of Table 5 on `graph`:
 /// `DynamicUpdate`, `STXXL` (time-forward processing), `Baseline`,

@@ -48,6 +48,7 @@ use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
 use mis_graph::{GraphScan, NeighborAccess, RecordBlock, VertexId};
+use mis_obs as obs;
 
 pub mod passes;
 mod queue;
@@ -229,12 +230,14 @@ impl Executor {
                 if let Some(r) = graph.raw_scan() {
                     return fold_ordered_raw(r, cfg, f);
                 }
+                let _pass = obs::span("engine", "pass.fold_ordered");
                 let queue: BoundedQueue<RecordBlock> = BoundedQueue::new(cfg.queue_blocks.max(1));
                 std::thread::scope(|s| {
                     let reader = s.spawn(|| {
+                        obs::name_thread("reader");
                         let _guard = CloseOnDrop(&queue);
                         graph.scan_blocks(cfg.block_records.max(1), &mut |block| {
-                            queue.push(block);
+                            handout(&queue, block);
                         })
                     });
                     {
@@ -257,22 +260,45 @@ impl Executor {
     }
 }
 
+/// Hands one item to the queue, tracing the queue depth and the time
+/// the producer spends blocked on a full queue (back-pressure). Returns
+/// what [`BoundedQueue::push`] returns.
+fn handout<T>(queue: &BoundedQueue<T>, item: T) -> bool {
+    if obs::enabled() {
+        obs::counter("engine", "queue.depth", queue.len() as f64);
+        let _h = obs::span("engine", "reader.handout");
+        queue.push(item)
+    } else {
+        queue.push(item)
+    }
+}
+
 /// The block-parallel backend of [`Executor::run_pass`].
 fn run_pass_parallel<G, P>(graph: &G, pass: &P, cfg: &ParallelConfig) -> io::Result<P::Output>
 where
     G: GraphScan + ?Sized,
     P: ScanPass,
 {
+    let _pass_span = obs::span("engine", "pass.parallel");
     let queue: BoundedQueue<RecordBlock> = BoundedQueue::new(cfg.queue_blocks.max(1));
     let shards: Mutex<Vec<(u64, P::Shard)>> = Mutex::new(Vec::new());
     let io = std::thread::scope(|s| {
         for _ in 0..cfg.threads.max(1) {
             s.spawn(|| {
+                obs::name_thread("worker");
                 let _guard = CloseOnDrop(&queue);
-                while let Some(block) = queue.pop() {
+                loop {
+                    let block = {
+                        let _wait = obs::span("engine", "worker.wait");
+                        queue.pop()
+                    };
+                    let Some(block) = block else { break };
                     let mut shard = pass.new_shard();
-                    for (v, ns) in block.iter() {
-                        pass.visit(&mut shard, v, ns);
+                    {
+                        let _fold = obs::span("engine", "worker.fold");
+                        for (v, ns) in block.iter() {
+                            pass.visit(&mut shard, v, ns);
+                        }
                     }
                     shards
                         .lock()
@@ -284,10 +310,11 @@ where
         // The calling thread is the block reader.
         let _guard = CloseOnDrop(&queue);
         graph.scan_blocks(cfg.block_records.max(1), &mut |block| {
-            queue.push(block);
+            handout(&queue, block);
         })
     });
     io?;
+    let _merge_span = obs::span("engine", "pass.merge");
     let mut shards = shards.into_inner().expect("shard list poisoned");
     shards.sort_unstable_by_key(|&(seq, _)| seq);
     let mut acc = pass.new_shard();

@@ -73,6 +73,12 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Number of items currently buffered. A racy snapshot — only for
+    /// observability (the `queue.depth` trace gauge), never for logic.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
     /// Closes the queue: pending items can still be popped, further
     /// pushes are rejected, and every blocked thread wakes up.
     pub fn close(&self) {
@@ -104,8 +110,10 @@ mod tests {
     #[test]
     fn fifo_order_and_close() {
         let q = BoundedQueue::new(4);
+        assert_eq!(q.len(), 0);
         assert!(q.push(1));
         assert!(q.push(2));
+        assert_eq!(q.len(), 2);
         q.close();
         assert!(!q.push(3), "pushes after close are rejected");
         assert_eq!(q.pop(), Some(1));

@@ -31,9 +31,10 @@ use std::io;
 use std::sync::{Condvar, Mutex};
 
 use mis_graph::{DecodedUnit, PieceAssembler, RawScan, RawScanLimits, RawUnit, VertexId};
+use mis_obs as obs;
 
 use super::queue::{BoundedQueue, CloseOnDrop};
-use super::{ParallelConfig, ScanPass};
+use super::{handout, ParallelConfig, ScanPass};
 
 fn limits_of(cfg: &ParallelConfig) -> RawScanLimits {
     RawScanLimits {
@@ -60,20 +61,34 @@ pub(super) fn run_pass_raw<P: ScanPass>(
     pass: &P,
     cfg: &ParallelConfig,
 ) -> io::Result<P::Output> {
+    let _pass_span = obs::span("engine", "pass.parallel");
     let queue: BoundedQueue<RawUnit> = BoundedQueue::new(cfg.queue_blocks.max(1));
     let results: Mutex<Vec<(u64, WorkerItem<P::Shard>)>> = Mutex::new(Vec::new());
     let worker_error: Mutex<Option<io::Error>> = Mutex::new(None);
     let io = std::thread::scope(|s| {
         for _ in 0..cfg.threads.max(1) {
             s.spawn(|| {
+                obs::name_thread("worker");
                 let _guard = CloseOnDrop(&queue);
-                while let Some(unit) = queue.pop() {
+                loop {
+                    let unit = {
+                        let _wait = obs::span("engine", "worker.wait");
+                        queue.pop()
+                    };
+                    let Some(unit) = unit else { break };
                     let seq = unit.seq();
-                    match raw.decode_unit(unit) {
+                    let decoded = {
+                        let _decode = obs::span("engine", "worker.decode");
+                        raw.decode_unit(unit)
+                    };
+                    match decoded {
                         Ok(DecodedUnit::Block(block)) => {
                             let mut shard = pass.new_shard();
-                            for (v, ns) in block.iter() {
-                                pass.visit(&mut shard, v, ns);
+                            {
+                                let _fold = obs::span("engine", "worker.fold");
+                                for (v, ns) in block.iter() {
+                                    pass.visit(&mut shard, v, ns);
+                                }
                             }
                             results
                                 .lock()
@@ -99,12 +114,13 @@ pub(super) fn run_pass_raw<P: ScanPass>(
         }
         // The calling thread is the framing reader.
         let _guard = CloseOnDrop(&queue);
-        raw.scan_raw(limits_of(cfg), &mut |unit| queue.push(unit))
+        raw.scan_raw(limits_of(cfg), &mut |unit| handout(&queue, unit))
     });
     io?;
     if let Some(e) = worker_error.into_inner().expect("error slot poisoned") {
         return Err(e);
     }
+    let _merge_span = obs::span("engine", "pass.merge");
     let mut results = results.into_inner().expect("result list poisoned");
     results.sort_unstable_by_key(|&(seq, _)| seq);
     let mut acc = pass.new_shard();
@@ -271,6 +287,7 @@ pub(super) fn fold_ordered_raw(
     cfg: &ParallelConfig,
     f: &mut dyn FnMut(VertexId, &[VertexId]),
 ) -> io::Result<()> {
+    let _pass_span = obs::span("engine", "pass.fold_ordered");
     let threads = cfg.threads.max(1);
     let queue: BoundedQueue<RawUnit> = BoundedQueue::new(cfg.queue_blocks.max(1));
     // Room for everything in flight: queued units, one per worker in
@@ -279,10 +296,11 @@ pub(super) fn fold_ordered_raw(
     let sink: OrderedSink<DecodedUnit> = OrderedSink::new(window, threads);
     std::thread::scope(|s| {
         let reader = s.spawn(|| {
+            obs::name_thread("reader");
             let _guard = CloseOnDrop(&queue);
             let mut produced = 0u64;
             let io = raw.scan_raw(limits_of(cfg), &mut |unit| {
-                if queue.push(unit) {
+                if handout(&queue, unit) {
                     produced += 1;
                     true
                 } else {
@@ -298,12 +316,23 @@ pub(super) fn fold_ordered_raw(
         });
         for _ in 0..threads {
             s.spawn(|| {
+                obs::name_thread("worker");
                 let _exit = WorkerExit(&sink);
                 let _guard = CloseOnDrop(&queue);
-                while let Some(unit) = queue.pop() {
+                loop {
+                    let unit = {
+                        let _wait = obs::span("engine", "worker.wait");
+                        queue.pop()
+                    };
+                    let Some(unit) = unit else { break };
                     let seq = unit.seq();
-                    match raw.decode_unit(unit) {
+                    let decoded = {
+                        let _decode = obs::span("engine", "worker.decode");
+                        raw.decode_unit(unit)
+                    };
+                    match decoded {
                         Ok(decoded) => {
+                            let _publish = obs::span("engine", "worker.publish_wait");
                             if !sink.publish(seq, decoded) {
                                 break;
                             }
@@ -318,7 +347,12 @@ pub(super) fn fold_ordered_raw(
         }
         let fold = (|| -> io::Result<()> {
             let mut assembler = PieceAssembler::new();
-            while let Some(decoded) = sink.pop_next()? {
+            loop {
+                let next = {
+                    let _stall = obs::span("engine", "reorder.stall");
+                    sink.pop_next()?
+                };
+                let Some(decoded) = next else { break };
                 match decoded {
                     DecodedUnit::Block(block) => {
                         if assembler.in_progress() {

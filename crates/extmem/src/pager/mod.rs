@@ -124,7 +124,16 @@ pub struct BufferPool<S: PageSource> {
     /// without borrowing the frame table.
     pins: Vec<u32>,
     stats: Arc<IoStats>,
+    /// Lifetime request/eviction tallies for the trace's hit-rate and
+    /// eviction series (sampled every [`TRACE_SAMPLE_EVERY`] requests).
+    trace_hits: u64,
+    trace_misses: u64,
+    trace_evictions: u64,
 }
+
+/// How often (in page requests) the pool samples its hit-rate and
+/// eviction counters into the trace when the sink is enabled.
+const TRACE_SAMPLE_EVERY: u64 = 256;
 
 impl<S: PageSource> std::fmt::Debug for BufferPool<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -150,6 +159,26 @@ impl<S: PageSource> BufferPool<S> {
             policy,
             pins: Vec::new(),
             stats,
+            trace_hits: 0,
+            trace_misses: 0,
+            trace_evictions: 0,
+        }
+    }
+
+    /// Samples the pool's hit-rate and eviction series into the trace
+    /// every [`TRACE_SAMPLE_EVERY`] requests (no-op when disabled).
+    fn maybe_trace(&self) {
+        if !mis_obs::enabled() {
+            return;
+        }
+        let total = self.trace_hits + self.trace_misses;
+        if total > 0 && total.is_multiple_of(TRACE_SAMPLE_EVERY) {
+            mis_obs::counter(
+                "pager",
+                "pager.hit_rate",
+                self.trace_hits as f64 / total as f64,
+            );
+            mis_obs::counter("pager", "pager.evictions", self.trace_evictions as f64);
         }
     }
 
@@ -180,6 +209,8 @@ impl<S: PageSource> BufferPool<S> {
     pub fn pin(&mut self, page_no: u64) -> io::Result<FrameId> {
         if let Some(&idx) = self.table.get(&page_no) {
             self.stats.record_cache_hit();
+            self.trace_hits += 1;
+            self.maybe_trace();
             self.policy.on_access(idx);
             self.frames[idx].pins += 1;
             self.pins[idx] = self.frames[idx].pins;
@@ -192,13 +223,20 @@ impl<S: PageSource> BufferPool<S> {
             ));
         }
         self.stats.record_cache_miss();
+        self.trace_misses += 1;
+        self.maybe_trace();
         let idx = self.acquire_frame()?;
         let page_size = self.config.page_size;
         let frame = &mut self.frames[idx];
         frame.data.resize(page_size, 0);
+        // Clock reads only while tracing: the disabled path stays free.
+        let fetch_start = mis_obs::enabled().then(std::time::Instant::now);
         let len = self
             .source
             .read_at(page_no * page_size as u64, &mut frame.data)?;
+        if let Some(start) = fetch_start {
+            mis_obs::observe_ns("pager", "pager.fetch", start.elapsed().as_nanos() as u64);
+        }
         self.stats.record_block_read(len as u64);
         frame.page_no = page_no;
         frame.len = len;
@@ -229,6 +267,7 @@ impl<S: PageSource> BufferPool<S> {
         })?;
         debug_assert_eq!(self.frames[victim].pins, 0);
         self.stats.record_cache_eviction();
+        self.trace_evictions += 1;
         self.table.remove(&self.frames[victim].page_no);
         // Invalidate immediately: if the caller's fill fails, the frame
         // must not keep claiming its old page (a later eviction would

@@ -221,6 +221,38 @@ impl IoSnapshot {
         }
     }
 
+    /// Emits the snapshot's non-zero counters into the active trace
+    /// (one `Counter` event each, named after the field) under category
+    /// `cat`. A no-op while the trace sink is disabled — callers can
+    /// emit unconditionally.
+    pub fn emit_trace(&self, cat: &'static str) {
+        if !mis_obs::enabled() {
+            return;
+        }
+        let fields: [(&'static str, u64); 12] = [
+            ("blocks_read", self.blocks_read),
+            ("blocks_written", self.blocks_written),
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("scans_started", self.scans_started),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
+            ("wal_bytes_written", self.wal_bytes_written),
+            ("wal_bytes_read", self.wal_bytes_read),
+            ("checkpoints_written", self.checkpoints_written),
+            ("checkpoints_read", self.checkpoints_read),
+        ];
+        for (name, value) in fields {
+            if value > 0 {
+                mis_obs::counter(cat, name, value as f64);
+            }
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            mis_obs::counter(cat, "cache_hit_rate", self.cache_hit_rate());
+        }
+    }
+
     /// Counter-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {

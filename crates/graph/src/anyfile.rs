@@ -45,6 +45,7 @@ impl AnyAdjFile {
         std::fs::File::open(path)
             .and_then(|mut f| f.read_exact(&mut magic))
             .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        mis_obs::instant("graph", "graph.open");
         match &magic {
             b"MISADJ01" => {
                 AdjFile::open_with_block_size(path, stats, block_size).map(AnyAdjFile::Plain)

@@ -90,6 +90,7 @@ impl CompressedRecordIndex {
     /// memory bandwidth. Gap values are validated later, when a record
     /// is actually fetched and decoded.
     pub fn build(file: &CompressedAdjFile) -> io::Result<Self> {
+        let _span = mis_obs::span("graph", "index.build");
         file.stats.record_scan();
         let n = file.num_vertices();
         let mut offsets = vec![u64::MAX; n];

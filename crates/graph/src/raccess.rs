@@ -49,6 +49,7 @@ impl RecordIndex {
 
     /// Builds the index with one accounted sequential scan of `file`.
     pub fn build(file: &AdjFile) -> io::Result<Self> {
+        let _span = mis_obs::span("graph", "index.build");
         let mut offsets = vec![0u64; file.num_vertices()];
         let mut pos = HEADER_BYTES as u64;
         file.scan(&mut |v, ns| {

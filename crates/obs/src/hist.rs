@@ -1,0 +1,231 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`LogHistogram`] spreads non-negative integer samples (typically
+//! nanoseconds) over power-of-two buckets: bucket 0 holds the value 0,
+//! bucket `i >= 1` holds `[2^(i-1), 2^i - 1]`. Sixty-five fixed buckets
+//! cover the whole `u64` range, so recording is constant-time, the
+//! memory footprint is constant, two histograms merge bucket-wise, and
+//! quantiles are answered to within one octave — exactly the precision
+//! latency tails are usually quoted at. The sum of raw samples is kept
+//! alongside the buckets so the mean stays exact.
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A constant-size histogram over power-of-two buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; NUM_BUCKETS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of `value`: 0 for 0, else `floor(log2(value)) + 1`.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` range of bucket `i` (see module docs).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == NUM_BUCKETS - 1 {
+        (1u64 << (i - 1), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` clamped to `[0, 1]`; 0 when empty). Precise to one octave.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested sample, 1-based: q = 0 asks for the
+        // first sample, q = 1 for the last.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`, bucket-wise.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 is its own bucket.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        // 1 opens bucket 1, which holds exactly [1, 1].
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_bounds(1), (1, 1));
+        // Each 2^k starts a new bucket; 2^k - 1 closes the previous one.
+        for k in 1..63 {
+            let lo = 1u64 << k;
+            assert_eq!(bucket_of(lo), k as usize + 1, "2^{k} opens bucket");
+            assert_eq!(bucket_of(lo - 1), k as usize, "2^{k}-1 closes bucket");
+            let (blo, bhi) = bucket_bounds(k as usize + 1);
+            assert_eq!(blo, lo);
+            if k < 62 {
+                assert_eq!(bhi, (lo << 1) - 1);
+            }
+        }
+        // The top bucket reaches u64::MAX.
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_lands_in_the_documented_bucket() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64, u64)> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),       // 0
+                (1, 1, 1),       // 1
+                (2, 3, 2),       // 2, 3
+                (4, 7, 2),       // 4, 7
+                (8, 15, 1),      // 8
+                (512, 1023, 1),  // 1023
+                (1024, 2047, 1), // 1024
+            ]
+        );
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn mean_is_exact_and_quantiles_are_octave_precise() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [100u64, 200, 300, 400, 10_000] {
+            h.record(v);
+        }
+        assert!((h.mean() - 2200.0).abs() < 1e-9);
+        // p50 is the 3rd of 5 samples (300), reported as its bucket's
+        // upper bound.
+        assert_eq!(h.quantile(0.5), 511);
+        // p100 is the max itself (bucket bound clamped to max).
+        assert_eq!(h.quantile(1.0), 10_000);
+        // p0 asks for the first sample's bucket.
+        assert_eq!(h.quantile(0.0), 127);
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(7.5), 10_000);
+        assert_eq!(h.quantile(-1.0), 127);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 10, 1_000_000] {
+            b.record(v);
+        }
+        let mut whole = LogHistogram::new();
+        for v in [1u64, 10, 100, 2, 10, 1_000_000] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let h = LogHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.buckets().count(), 0);
+    }
+}

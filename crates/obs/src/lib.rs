@@ -1,0 +1,83 @@
+//! Observability substrate for the semi-external MIS workspace.
+//!
+//! The paper's cost model counts scans and block transfers
+//! (`mis_extmem::IoStats` reproduces it), but counters cannot explain
+//! *time*: whether parallel workers starve on the hand-out queue, the
+//! reader thread is the bottleneck, or an ordered merge serialises
+//! behind its reorder window. This crate is the measurement substrate
+//! the rest of the workspace instruments itself with:
+//!
+//! * [`trace`] — a span/counter/gauge event layer with **thread-local
+//!   event buffers**, monotonic timestamps and a process-global on/off
+//!   switch. When the sink is disabled (the default) every recording
+//!   call is one relaxed atomic load and **no heap allocation** — the
+//!   hot paths of the execution engine stay hot (see the
+//!   `disabled_sink_allocates_nothing` overhead test).
+//! * [`hist`] — log-bucketed latency histograms
+//!   ([`hist::LogHistogram`]): power-of-two buckets, constant memory,
+//!   mergeable, with quantile estimates. Used for per-fetch pager
+//!   latency and WAL append/commit latency.
+//! * [`clock`] — the one shared wall-clock helper set
+//!   ([`clock::timed_split`], [`clock::SplitTimes`],
+//!   [`clock::hardware_threads`]) used by both the bench harness and
+//!   the CLI, so every experiment splits setup from steady-state work
+//!   the same way.
+//! * [`report`] — parses a trace back (JSONL, one Chrome trace event
+//!   per line) and aggregates it into a per-phase wall-time breakdown
+//!   and a per-worker utilization table; `mis trace report` and the
+//!   `repro parallel` experiment both build on it.
+//!
+//! ## Event schema
+//!
+//! A trace is a sequence of [`trace::Event`]s, each carrying a static
+//! category (`"engine"`, `"pager"`, `"wal"`, `"phase"`, …), a static
+//! name, the recording thread's small dense id, and a monotonic
+//! timestamp in nanoseconds since the process's trace epoch:
+//!
+//! | kind                          | Chrome phase | meaning |
+//! |-------------------------------|--------------|---------|
+//! | [`trace::EventKind::Span`]    | `"X"`        | a named duration (begin + `dur_ns`), e.g. `worker.fold` |
+//! | [`trace::EventKind::Counter`] | `"C"`        | a sampled series value, e.g. `queue.depth`, `pager.hit_rate` |
+//! | [`trace::EventKind::Instant`] | `"i"`        | a point event, e.g. `graph.open` |
+//! | [`trace::EventKind::Meta`]    | `"M"`        | thread role (`reader` / `worker` / `main`) |
+//!
+//! Latency histograms ride along as one instant event per histogram
+//! with the bucket table in `args` (`"kind": "histogram"`).
+//!
+//! The serialized form ([`trace::Trace::write_chrome_jsonl`]) is one
+//! Chrome trace-event JSON object per line. Chrome's own viewer and
+//! Perfetto expect a JSON *array*, so wrap the lines to view a trace:
+//! `jq -s . trace.jsonl > trace.json`, then load `trace.json` in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! ## Naming conventions the report understands
+//!
+//! * cat `"phase"` — top-level sequential phases of a run (`open`,
+//!   `warmup`, `solve`, `verify`, …). The report's per-phase breakdown
+//!   and its coverage figure (`phase time / wall time`) come from
+//!   these.
+//! * names `worker.wait` / `worker.decode` / `worker.fold` /
+//!   `worker.publish_wait` — per-worker timeline spans; the report
+//!   derives busy/wait/idle and utilization per thread from them.
+//! * `pass.parallel` / `pass.fold_ordered` — one span per engine pass
+//!   on the calling thread; worker utilization is measured against
+//!   these.
+//! * `reader.handout` (reader blocked pushing into the bounded queue),
+//!   `reorder.stall` (ordered-merge consumer blocked on the reorder
+//!   window) and the `queue.depth` gauge explain *why* workers idle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod hist;
+pub mod report;
+pub mod trace;
+
+pub use clock::{hardware_threads, timed, timed_split, SplitTimes};
+pub use hist::LogHistogram;
+pub use report::TraceReport;
+pub use trace::{
+    counter, drain, enabled, instant, name_thread, observe_ns, set_enabled, span, Event, EventKind,
+    SpanGuard, Trace,
+};

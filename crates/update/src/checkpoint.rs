@@ -60,6 +60,7 @@ impl Checkpoint {
         set: &[VertexId],
         stats: &Arc<IoStats>,
     ) -> io::Result<u64> {
+        let _span = mis_obs::span("ckpt", "ckpt.write");
         if set.windows(2).any(|w| w[0] >= w[1]) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,

@@ -234,6 +234,7 @@ impl UpdateStore {
     /// Brings the maintained independent set up to the last committed
     /// epoch and checkpoints it.
     pub fn apply(&self, config: RepairConfig) -> io::Result<ApplyReport> {
+        let _span = mis_obs::span("store", "store.apply");
         let target = self.wal.last_epoch();
         let ckpt = Checkpoint::load_if_exists(&self.ckpt_path, &self.stats)?;
 

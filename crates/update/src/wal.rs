@@ -236,10 +236,15 @@ impl Wal {
     /// Appends one operation to the current (uncommitted) epoch.
     pub fn append(&mut self, op: EdgeOp) -> io::Result<()> {
         self.check_poisoned()?;
+        // Clock reads only while tracing: appends are the WAL hot path.
+        let start = mis_obs::enabled().then(std::time::Instant::now);
         let (u, v) = op.endpoints();
         let rec = encode_record(op.tag(), &[u64::from(u), u64::from(v)]);
         self.write_record(&rec)?;
         self.batch.push(op);
+        if let Some(start) = start {
+            mis_obs::observe_ns("wal", "wal.append", start.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -247,6 +252,7 @@ impl Wal {
     /// marker, syncs the file, and returns the epoch id. Committing an
     /// empty batch is allowed (a pure marker).
     pub fn commit_epoch(&mut self) -> io::Result<u64> {
+        let _span = mis_obs::span("wal", "wal.commit");
         self.check_poisoned()?;
         let epoch = self.last_epoch + 1;
         let rec = encode_record(TAG_EPOCH, &[epoch, self.batch.len() as u64]);

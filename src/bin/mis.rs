@@ -24,6 +24,7 @@
 //!              status <base>                       inspect epochs/checkpoint
 //!              (all take [--wal F] [--checkpoint F]; defaults derive
 //!               from the base path: <base>.wal / <base>.ckpt)
+//! mis trace    report <trace.jsonl>      summarise a recorded trace
 //! ```
 //!
 //! Every subcommand accepts `--block-size BYTES` (default 65536), the `B`
@@ -41,6 +42,13 @@
 //! (`--algo tfp|dynamic` have no engine-ported passes and always run
 //! single-threaded; an explicit `--threads` is noted and ignored there.)
 //!
+//! `run`, `stats`, `bound` and `update` accept `--trace FILE`: the command
+//! then records a [`mis_obs`] timeline — top-level phase spans, per-worker
+//! engine timelines, pager/WAL latency histograms and the final I/O
+//! counters — and writes it as Chrome-trace JSONL. Inspect it with
+//! `mis trace report FILE` (per-phase breakdown, per-worker utilization)
+//! or load it into `chrome://tracing` / Perfetto.
+//!
 //! `<graph>` and `<base>` accept plain (`MISADJ01`) and gap-compressed
 //! (`MISADJC1`) adjacency files everywhere, detected by magic bytes —
 //! including `mis run --cache-mb`, which builds the matching
@@ -55,6 +63,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use mis_obs as obs;
+use mis_obs::TraceReport;
 use semi_mis::algo::peeling::peel_and_solve;
 use semi_mis::extmem::{SortConfig, DEFAULT_BLOCK_SIZE};
 use semi_mis::graph::{
@@ -91,7 +101,10 @@ usage: mis <command> ... [--block-size BYTES]
          apply <base> [--rounds N] [--wal F] [--checkpoint F]
          compact <base> <out> [--format plain|compressed] [--wal F] [--checkpoint F]
          status <base> [--wal F] [--checkpoint F]
-  (<graph>/<base> may be plain MISADJ01 or gap-compressed MISADJC1 files)
+  trace report <trace.jsonl>
+  (<graph>/<base> may be plain MISADJ01 or gap-compressed MISADJC1 files;
+   run/stats/bound/update also take [--trace FILE] to record a Chrome-trace
+   JSONL timeline, inspected with `mis trace report` or chrome://tracing)
 ";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -106,6 +119,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "bound" => cmd_bound(rest),
         "run" => cmd_run(rest),
         "update" => cmd_update(rest),
+        "trace" => cmd_trace(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -182,9 +196,92 @@ fn opt_executor(options: &[(String, String)]) -> Result<Executor, String> {
     }
 }
 
-/// Prints the shared I/O counter summary every subcommand ends with.
-fn print_io_summary(stats: &IoStats) {
-    println!("io = {}", stats.snapshot());
+/// Parses the shared `--trace FILE` option and, when present, arms the
+/// global trace sink so spans/counters recorded below actually land.
+fn opt_trace(options: &[(String, String)]) -> Option<PathBuf> {
+    let path = opt(options, "trace").map(PathBuf::from);
+    if path.is_some() {
+        obs::set_enabled(true);
+    }
+    path
+}
+
+/// Ends a traced command: folds the final I/O counters into the trace,
+/// writes the Chrome-trace JSONL file and loads it back as a report (the
+/// round-trip doubles as a format check). `None` when `--trace` was not
+/// given.
+fn finish_trace(path: Option<&Path>, stats: &IoStats) -> Result<Option<TraceReport>, String> {
+    let Some(path) = path else { return Ok(None) };
+    stats.snapshot().emit_trace("io");
+    let trace = obs::drain();
+    obs::set_enabled(false);
+    trace
+        .save(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let report = TraceReport::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "trace: {} events ({} spans) -> {} (inspect: mis trace report {})",
+        report.num_events,
+        report.num_spans,
+        path.display(),
+        path.display()
+    );
+    Ok(Some(report))
+}
+
+/// Prints the shared I/O counter summary every subcommand ends with,
+/// plus the cache hit rate and — when a trace was recorded — the
+/// per-phase wall-time breakdown.
+fn print_io_summary(stats: &IoStats, report: Option<&TraceReport>) {
+    let snap = stats.snapshot();
+    println!("io = {snap}");
+    let requests = snap.cache_hits + snap.cache_misses;
+    if requests > 0 {
+        println!(
+            "cache hit rate = {:.1}% ({} of {requests} requests)",
+            100.0 * snap.cache_hits as f64 / requests as f64,
+            snap.cache_hits
+        );
+    }
+    if let Some(report) = report {
+        for phase in &report.phases {
+            println!(
+                "phase {} = {:.3}s (x{})",
+                phase.name,
+                phase.total_us / 1e6,
+                phase.count
+            );
+        }
+        println!(
+            "phase coverage = {:.1}% of {:.3}s wall",
+            100.0 * report.phase_coverage(),
+            report.wall_us / 1e6
+        );
+    }
+}
+
+/// `mis trace report <trace.jsonl>`: render the per-phase breakdown and
+/// per-worker utilization table of a recorded trace. Fails on malformed
+/// JSONL and on traces with no spans at all (both indicate a broken
+/// recording, which CI wants to catch).
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (pos, _opts) = parse_opts(args)?;
+    let [action, path] = pos.as_slice() else {
+        return Err("trace needs: report <trace.jsonl>".into());
+    };
+    if action != "report" {
+        return Err(format!(
+            "unknown trace action `{action}` (expected `report`)"
+        ));
+    }
+    let report = TraceReport::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if report.num_spans == 0 {
+        return Err(format!(
+            "{path}: trace contains no span events — was it recorded with --trace?"
+        ));
+    }
+    print!("{}", report.render());
+    Ok(())
 }
 
 fn write_graph(
@@ -340,11 +437,18 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         return Err("stats needs: <graph>".into());
     };
     let executor = opt_executor(&opts)?;
+    let trace_path = opt_trace(&opts);
     let stats = IoStats::shared();
-    let file = open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
+    let file = {
+        let _open = obs::span("phase", "open");
+        open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?
+    };
     let scan = file.as_scan();
     let n = scan.num_vertices();
-    let degrees = engine::passes::degree_stats(scan, &executor);
+    let degrees = {
+        let _scan_span = obs::span("phase", "scan");
+        engine::passes::degree_stats(scan, &executor)
+    };
     println!("{input} ({}):", scan.storage());
     println!("  |V| = {n}");
     println!("  |E| = {}", scan.num_edges());
@@ -352,6 +456,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  max degree = {}", degrees.max_degree);
     println!("  isolated vertices = {}", degrees.isolated);
     println!("  pendant vertices  = {}", degrees.pendant);
+    if let Some(report) = finish_trace(trace_path.as_deref(), &stats)? {
+        print_io_summary(&stats, Some(&report));
+    }
     Ok(())
 }
 
@@ -361,14 +468,23 @@ fn cmd_bound(args: &[String]) -> Result<(), String> {
         return Err("bound needs: <graph>".into());
     };
     let executor = opt_executor(&opts)?;
+    let trace_path = opt_trace(&opts);
     let stats = IoStats::shared();
-    let file = open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?;
+    let file = {
+        let _open = obs::span("phase", "open");
+        open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?
+    };
     let scan = file.as_scan();
+    let bound_span = obs::span("phase", "bound");
     let star = semi_mis::algo::upper_bound_scan_with(scan, &executor);
     let matching = semi_mis::algo::matching_bound_with(scan, &executor);
+    drop(bound_span);
     println!("Algorithm 5 (star partition): {star}");
     println!("matching bound (|V| - |M|):   {matching}");
     println!("best: {}", star.min(matching));
+    if let Some(report) = finish_trace(trace_path.as_deref(), &stats)? {
+        print_io_summary(&stats, Some(&report));
+    }
     Ok(())
 }
 
@@ -416,8 +532,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     config = config.with_executor(executor);
     let quiet = opt(&opts, "quiet").is_some();
+    let trace_path = opt_trace(&opts);
 
     let stats = IoStats::shared();
+    let open_span = obs::span("phase", "open");
     let file = open_any(Path::new(input), Arc::clone(&stats), block_size)?;
 
     // --cache-mb: build the buffer-pool access path for the swap rounds.
@@ -441,9 +559,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         None
     };
     let access = raccess.as_ref().map(|ra| ra as &dyn NeighborAccess);
+    drop(open_span);
 
     let scan = file.as_scan();
     let start = Instant::now();
+    let solve_span = obs::span("phase", "solve");
     let mut paged_rounds = None;
     let (set, scans, memory) = match algo {
         "greedy" | "baseline" => {
@@ -503,9 +623,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown algorithm `{other}`")),
     };
+    drop(solve_span);
     let elapsed = start.elapsed();
 
-    let proof = prove_maximal_with(scan, &set, &executor);
+    let proof = {
+        let _verify = obs::span("phase", "verify");
+        prove_maximal_with(scan, &set, &executor)
+    };
     let (independent, maximal) = (proof.independent, proof.maximal);
     println!("algorithm = {algo}");
     println!("|IS| = {}", set.len());
@@ -529,7 +653,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("paged rounds = {}", paged_rounds.unwrap_or(0));
     }
     println!("modelled memory = {} B", memory.total());
-    print_io_summary(&stats);
+    let report = finish_trace(trace_path.as_deref(), &stats)?;
+    print_io_summary(&stats, report.as_ref());
     println!("verified: independent = {independent}, maximal = {maximal}");
     if !independent {
         return Err("result failed verification".into());
@@ -592,6 +717,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     let base = Path::new(base);
     let (wal, ckpt) = update_paths(base, &opts);
     let block_size = opt_block_size(&opts)?;
+    let trace_path = opt_trace(&opts);
 
     // Validate the action and everything it needs *before* opening the
     // store: a typo'd action, a bad edits file or a missing argument must
@@ -635,13 +761,16 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
             Some(c) => println!("checkpoint: epoch {}, |IS| = {}", c.epoch, c.set.len()),
             None => println!("checkpoint: none (run `mis update apply`)"),
         }
-        print_io_summary(&stats);
+        let report = finish_trace(trace_path.as_deref(), &stats)?;
+        print_io_summary(&stats, report.as_ref());
         return Ok(());
     }
 
+    let open_span = obs::span("phase", "open");
     let (mut store, recovery) =
         UpdateStore::open(base, &wal, &ckpt, Arc::clone(&stats), block_size)
             .map_err(|e| e.to_string())?;
+    drop(open_span);
     if recovery.dropped_bytes > 0 {
         println!(
             "wal recovery: dropped {} torn/uncommitted tail bytes, resumed at epoch {}",
@@ -649,6 +778,14 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Span names are `&'static str`; map the validated action to one.
+    let phase_name: &'static str = match action.as_str() {
+        "append" => "append",
+        "apply" => "apply",
+        "compact" => "compact",
+        _ => "status",
+    };
+    let action_span = obs::span("phase", phase_name);
     match action.as_str() {
         "append" => {
             let ops = ops.expect("validated above");
@@ -747,7 +884,9 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown update action `{other}`")),
     }
-    print_io_summary(&stats);
+    drop(action_span);
+    let report = finish_trace(trace_path.as_deref(), &stats)?;
+    print_io_summary(&stats, report.as_ref());
     Ok(())
 }
 
@@ -1106,5 +1245,60 @@ mod tests {
         // Bad inputs are rejected.
         assert!(dispatch(&strs(&["update", "append", &base])).is_err());
         assert!(dispatch(&strs(&["update", "compact", &base])).is_err());
+    }
+
+    #[test]
+    fn trace_flag_round_trip() {
+        let dir = ScratchDir::new("cli-trace").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "400",
+            "--edges",
+            "800",
+            &out,
+        ]))
+        .unwrap();
+        let trace = dir.file("run.jsonl");
+        let trace_s = trace.display().to_string();
+        dispatch(&strs(&[
+            "run",
+            &out,
+            "--algo",
+            "twok",
+            "--rounds",
+            "1",
+            "--threads",
+            "2",
+            "--trace",
+            &trace_s,
+        ]))
+        .unwrap();
+        // The file is valid JSONL and carries this command's phase spans.
+        // (The sink is process-global, so spans from concurrently running
+        // tests may ride along — assert presence, not exact contents.)
+        let report = TraceReport::load(&trace).unwrap();
+        assert!(report.num_spans > 0);
+        for phase in ["open", "solve", "verify"] {
+            assert!(
+                report.phases.iter().any(|p| p.name == phase),
+                "missing phase `{phase}` in {:?}",
+                report.phases
+            );
+        }
+        dispatch(&strs(&["trace", "report", &trace_s])).unwrap();
+
+        // `trace report` rejects malformed JSONL, span-free traces and
+        // unknown actions.
+        let junk = dir.file("junk.jsonl");
+        std::fs::write(&junk, "this is not json\n").unwrap();
+        assert!(dispatch(&strs(&["trace", "report", &junk.display().to_string()])).is_err());
+        let empty = dir.file("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(dispatch(&strs(&["trace", "report", &empty.display().to_string()])).is_err());
+        assert!(dispatch(&strs(&["trace", "frob", &trace_s])).is_err());
+        assert!(dispatch(&strs(&["trace", "report"])).is_err());
     }
 }

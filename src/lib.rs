@@ -19,7 +19,10 @@
 //! * [`update`] — the durable edge-update subsystem: write-ahead edge
 //!   log, independent-set checkpoints, incremental maintenance from the
 //!   last checkpoint, and log compaction;
-//! * [`theory`] — the paper's analytic formulas on `P(α,β)`.
+//! * [`theory`] — the paper's analytic formulas on `P(α,β)`;
+//! * [`obs`] — low-overhead observability: span tracing, log-bucketed
+//!   latency histograms and counters, exported as Chrome-trace JSONL
+//!   (`mis run --trace`, `mis trace report`).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use mis_core as algo;
 pub use mis_extmem as extmem;
 pub use mis_gen as gen;
 pub use mis_graph as graph;
+pub use mis_obs as obs;
 pub use mis_theory as theory;
 pub use mis_update as update;
 

@@ -23,13 +23,20 @@ use std::time::Instant;
 use mis_core::{is_maximal_independent_set, Greedy, OneKSwap, RepairConfig, SwapConfig};
 use mis_extmem::{IoSnapshot, IoStats, ScratchDir, SortConfig};
 use mis_gen::churn::{churn_stream, ChurnKind, ChurnOp};
-use mis_graph::{build_adj_file, degree_sort_adj_file, AdjFile, DeltaGraph};
+use mis_graph::{build_adj_file, degree_sort_adj_file, AdjFile, DeltaGraph, GraphScan};
+use mis_obs::{CostModel, LedgerEntry, ModelVerdict};
 use mis_update::{EdgeOp, UpdateStore, Wal};
 
 use crate::harness;
 
 /// Default output path of the machine-readable results.
 pub const DEFAULT_JSON_PATH: &str = "BENCH_churn.json";
+
+/// Blocks-read tolerance of the churn conformance checks. Wider than
+/// the scan-shaped experiments: the incremental side resumes from
+/// checkpoints and replays the WAL between its accounted base-file
+/// scans, I/O the scans-×-⌈bytes/B⌉ relation cannot see.
+const CHURN_MODEL_TOLERANCE: f64 = 0.25;
 
 /// One measured maintenance strategy.
 #[derive(Debug)]
@@ -46,6 +53,22 @@ pub struct Side {
     pub wall_ms: f64,
     /// Whether every epoch's set passed the maximality proof.
     pub all_proved: bool,
+    /// Cost-model conformance verdict (blocks-per-scan relation; the
+    /// epoch pass structure itself is not predicted).
+    pub model: Option<ModelVerdict>,
+}
+
+/// Checks one side's accounted I/O against the blocks-per-scan
+/// relation of the cost model.
+fn check_side(side: &mut Side, model: &CostModel) {
+    let verdict = model.check(
+        None,
+        side.io.scans_started,
+        side.io.blocks_read,
+        CHURN_MODEL_TOLERANCE,
+    );
+    assert!(verdict.pass, "{}: {verdict}", side.label);
+    side.model = Some(verdict);
 }
 
 /// Outcome of the torn-write recovery demonstration.
@@ -70,6 +93,10 @@ pub struct ChurnResult {
     pub epochs: usize,
     /// Total operations across all epochs.
     pub total_ops: usize,
+    /// Edge count of the generated base graph.
+    pub edges: u64,
+    /// On-disk bytes of the degree-sorted base file.
+    pub base_bytes: u64,
 }
 
 fn to_edge_op(op: &ChurnOp) -> EdgeOp {
@@ -134,6 +161,7 @@ pub fn run_churn(n: u64, epochs: usize, ops_per_epoch: usize, block_size: usize)
         io: IoSnapshot::default(),
         wall_ms: 0.0,
         all_proved: true,
+        model: None,
     };
     let before = inc_stats.snapshot();
     let start = Instant::now();
@@ -164,6 +192,7 @@ pub fn run_churn(n: u64, epochs: usize, ops_per_epoch: usize, block_size: usize)
         io: IoSnapshot::default(),
         wall_ms: 0.0,
         all_proved: true,
+        model: None,
     };
     let before = reb_stats.snapshot();
     let start = Instant::now();
@@ -199,21 +228,36 @@ pub fn run_churn(n: u64, epochs: usize, ops_per_epoch: usize, block_size: usize)
     assert_eq!(torn.recovered_epoch, last_epoch, "recovery lost an epoch");
     assert!(torn.dropped_bytes > 0, "torn tail must be dropped");
 
+    // Both sides' base-file I/O must conform to the blocks-per-scan
+    // relation of the cost model.
+    let base_bytes = sorted.disk_bytes().expect("metadata");
+    let model = CostModel {
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges(),
+        file_bytes: base_bytes,
+        block_size: block_size as u64,
+        storage: sorted.storage().to_string(),
+    };
+    check_side(&mut incremental, &model);
+    check_side(&mut rebuild, &model);
+
     ChurnResult {
         incremental,
         rebuild,
         torn,
         epochs,
         total_ops: stream.len(),
+        edges: graph.num_edges(),
+        base_bytes,
     }
 }
 
 fn side_json(side: &Side) -> String {
-    format!(
+    let mut json = format!(
         concat!(
             "{{\"final_is\": {}, \"scans\": {}, \"blocks_read\": {}, ",
             "\"bytes_read\": {}, \"wal_bytes_written\": {}, \"wal_bytes_read\": {}, ",
-            "\"checkpoints_written\": {}, \"all_proved\": {}, \"wall_ms\": {:.2}}}"
+            "\"checkpoints_written\": {}, \"all_proved\": {}, \"wall_ms\": {:.2}"
         ),
         side.final_is,
         side.scans,
@@ -224,7 +268,12 @@ fn side_json(side: &Side) -> String {
         side.io.checkpoints_written,
         side.all_proved,
         side.wall_ms,
-    )
+    );
+    if let Some(verdict) = &side.model {
+        json.push_str(&format!(", \"model\": {}", verdict.to_json()));
+    }
+    json.push('}');
+    json
 }
 
 /// Runs the experiment, prints the comparison and writes the JSON file.
@@ -308,6 +357,8 @@ pub fn run() {
             "  \"graph\": {{\"model\": \"plrg\", \"beta\": 2.0, \"seed\": 42, \"vertices\": {}}},\n",
             "  \"workload\": {{\"epochs\": {}, \"ops\": {}, \"delete_fraction\": 0.3, \"seed\": 7}},\n",
             "  \"block_size\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"available_threads\": {},\n",
             "  \"incremental\": {},\n",
             "  \"rebuild\": {},\n",
             "  \"scans_saved\": {},\n",
@@ -319,6 +370,8 @@ pub fn run() {
         result.epochs,
         result.total_ops,
         block_size,
+        mis_obs::hardware_threads(),
+        mis_core::engine::available_threads(),
         side_json(&result.incremental),
         side_json(&result.rebuild),
         scans_saved,
@@ -332,6 +385,36 @@ pub fn run() {
         Ok(()) => println!("  wrote {out_path}"),
         Err(e) => eprintln!("  could not write {out_path}: {e}"),
     }
+
+    let mut ledger = LedgerEntry::new(
+        "repro churn",
+        &format!("plrg beta=2.0 n={n}, {epochs}x{ops_per_epoch} ops"),
+        harness::env_fingerprint(block_size, "adj-file"),
+    );
+    ledger.metric("vertices", n as f64);
+    ledger.metric("edges", result.edges as f64);
+    ledger.metric("base_bytes", result.base_bytes as f64);
+    ledger.metric("final_is", result.incremental.final_is as f64);
+    ledger.metric("incremental_scans", result.incremental.scans as f64);
+    ledger.metric("rebuild_scans", result.rebuild.scans as f64);
+    ledger.metric("scans_saved", scans_saved as f64);
+    ledger.metric("blocks_saved", blocks_saved as f64);
+    ledger.metric(
+        "wal_bytes_written",
+        result.incremental.io.wal_bytes_written as f64,
+    );
+    ledger.metric("torn_dropped_bytes", result.torn.dropped_bytes as f64);
+    for side in [&result.incremental, &result.rebuild] {
+        ledger.verdict(
+            &format!("model {}", side.label),
+            side.model.as_ref().is_some_and(|v| v.pass),
+        );
+    }
+    ledger.verdict(
+        "all_proved",
+        result.incremental.all_proved && result.rebuild.all_proved,
+    );
+    harness::ledger_append(&ledger);
 }
 
 #[cfg(test)]

@@ -19,10 +19,12 @@ use mis_core::{prove_maximal_with, Executor, Greedy, OneKSwap, SwapConfig, TwoKS
 use mis_extmem::pager::PolicyKind;
 use mis_extmem::{IoSnapshot, IoStats, PagerConfig, ScratchDir, SortConfig};
 use mis_graph::{
-    build_adj_file, compress_adj, degree_sort_adj_file, AnyAdjFile, NeighborAccess,
+    build_adj_file, compress_adj, degree_sort_adj_file, AnyAdjFile, GraphScan, NeighborAccess,
     RandomAccessGraph,
 };
+use mis_obs::{CostModel, LedgerEntry, ModelVerdict, Workload};
 
+use super::parallel::MODEL_TOLERANCE;
 use crate::harness;
 
 /// Default output path of the machine-readable results.
@@ -35,10 +37,13 @@ const MODES: [&str; 3] = ["scan", "paged", "par4"];
 struct Side {
     is_size: u64,
     scans: u64,
+    rounds: u64,
     io: IoSnapshot,
     wall_ms: f64,
     paged_rounds: u64,
     maximal: bool,
+    /// Cost-model conformance verdict (filled in by [`check_side`]).
+    model: Option<ModelVerdict>,
 }
 
 fn measure(path: &Path, block_size: usize, algo: &str, mode: &str) -> Side {
@@ -75,13 +80,14 @@ fn measure(path: &Path, block_size: usize, algo: &str, mode: &str) -> Side {
     if access.is_some() {
         config = config.with_paged_threshold(1.0);
     }
-    let (set, scans, paged_rounds) = match algo {
-        "greedy" => (greedy.set, greedy.file_scans, 0),
+    let (set, scans, rounds, paged_rounds) = match algo {
+        "greedy" => (greedy.set, greedy.file_scans, 0, 0),
         "onek" => {
             let o = OneKSwap::with_config(config).run_paged(scan, access, &greedy.set);
             (
                 o.result.set,
                 greedy.file_scans + o.result.file_scans,
+                o.stats.num_rounds() as u64,
                 o.stats.paged_rounds,
             )
         }
@@ -90,6 +96,7 @@ fn measure(path: &Path, block_size: usize, algo: &str, mode: &str) -> Side {
             (
                 o.result.set,
                 greedy.file_scans + o.result.file_scans,
+                o.stats.num_rounds() as u64,
                 o.stats.paged_rounds,
             )
         }
@@ -100,28 +107,71 @@ fn measure(path: &Path, block_size: usize, algo: &str, mode: &str) -> Side {
     Side {
         is_size: set.len() as u64,
         scans: scans + 1, // + proof scan
+        rounds,
         io: stats.snapshot(),
         wall_ms,
         paged_rounds,
         maximal: proof.is_maximal_independent(),
+        model: None,
     }
 }
 
+/// Checks one cell against the cost model. Swap cells state their full
+/// workload (greedy seed → swap → proof, plus the index-build scan in
+/// paged mode), so the scan count is predicted exactly; greedy-only
+/// cells have no swap pass structure to predict, so their scan count is
+/// asserted directly and the verdict checks the blocks-per-scan
+/// relation alone.
+fn check_side(side: &mut Side, model: &CostModel, algo: &str, mode: &str) {
+    let storage = &model.storage;
+    let index_scans = u64::from(mode == "paged"); // RecordIndex::build
+    let workload = match algo {
+        "greedy" => {
+            let expected = side.scans + index_scans; // greedy + proof (+ index)
+            assert_eq!(
+                side.io.scans_started, expected,
+                "{storage}/{algo}/{mode}: accounted scans"
+            );
+            None
+        }
+        _ => Some(Workload::GreedyThenSwap {
+            rounds: side.rounds,
+            paged_rounds: side.paged_rounds,
+            finalize: true,
+            extra_scans: 1 + index_scans, // maximality proof (+ index build)
+        }),
+    };
+    let verdict = model.check(
+        workload,
+        side.io.scans_started,
+        side.io.blocks_read,
+        MODEL_TOLERANCE,
+    );
+    assert!(verdict.pass, "{storage}/{algo}/{mode}: {verdict}");
+    side.model = Some(verdict);
+}
+
 fn side_json(side: &Side) -> String {
-    format!(
+    let mut json = format!(
         concat!(
-            "{{\"is_size\": {}, \"file_scans\": {}, \"paged_rounds\": {}, ",
+            "{{\"is_size\": {}, \"file_scans\": {}, \"rounds\": {}, \"paged_rounds\": {}, ",
             "\"blocks_read\": {}, \"bytes_read\": {}, \"maximal\": {}, ",
-            "\"wall_ms\": {:.2}}}"
+            "\"wall_ms\": {:.2}"
         ),
         side.is_size,
         side.scans,
+        side.rounds,
         side.paged_rounds,
         side.io.blocks_read,
         side.io.bytes_read,
         side.maximal,
         side.wall_ms,
-    )
+    );
+    if let Some(verdict) = &side.model {
+        json.push_str(&format!(", \"model\": {}", verdict.to_json()));
+    }
+    json.push('}');
+    json
 }
 
 /// Runs the experiment, prints the comparison and writes the JSON file.
@@ -178,13 +228,38 @@ pub fn run() {
     .iter()
     .map(|s| s.to_string())
     .collect::<Vec<_>>();
+    let plain_model = CostModel {
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges(),
+        file_bytes: plain_bytes,
+        block_size: block_size as u64,
+        storage: sorted.storage().to_string(),
+    };
+    let comp_model = CostModel {
+        file_bytes: comp_bytes,
+        storage: compressed.storage().to_string(),
+        ..plain_model.clone()
+    };
     let mut rows = Vec::new();
     let mut cells = Vec::new();
     let mut total_saved = 0u64;
+    let mut ledger = LedgerEntry::new(
+        "repro compress",
+        &format!("plrg beta=2.0 n={}", graph.num_vertices()),
+        harness::env_fingerprint(block_size, "adj-file+adj-file-compressed"),
+    );
     for algo in ALGOS {
         for mode in MODES {
-            let plain = measure(&plain_path, block_size, algo, mode);
-            let comp = measure(&comp_path, block_size, algo, mode);
+            let mut plain = measure(&plain_path, block_size, algo, mode);
+            let mut comp = measure(&comp_path, block_size, algo, mode);
+            check_side(&mut plain, &plain_model, algo, mode);
+            check_side(&mut comp, &comp_model, algo, mode);
+            for (side, model) in [(&plain, &plain_model), (&comp, &comp_model)] {
+                ledger.verdict(
+                    &format!("model {}/{algo}/{mode}", model.storage),
+                    side.model.as_ref().is_some_and(|v| v.pass),
+                );
+            }
             assert_eq!(
                 plain.is_size, comp.is_size,
                 "{algo}/{mode}: the storage backend must not change |IS|"
@@ -228,6 +303,11 @@ pub fn run() {
         comp_bytes,
         plain_bytes as f64 / comp_bytes as f64,
     );
+    println!(
+        "  cost model: all {} sides conform (blocks within ±{:.0}% of scans × ⌈bytes/B⌉)",
+        2 * rows.len(),
+        MODEL_TOLERANCE * 100.0
+    );
 
     let cell_list = cells.join(",\n    ");
     let json = format!(
@@ -237,6 +317,8 @@ pub fn run() {
             "  \"graph\": {{\"model\": \"plrg\", \"beta\": 2.0, \"seed\": 42, ",
             "\"vertices\": {}, \"edges\": {}}},\n",
             "  \"block_size\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"available_threads\": {},\n",
             "  \"plain_bytes\": {},\n",
             "  \"compressed_bytes\": {},\n",
             "  \"compression_ratio\": {:.4},\n",
@@ -247,6 +329,8 @@ pub fn run() {
         graph.num_vertices(),
         graph.num_edges(),
         block_size,
+        mis_obs::hardware_threads(),
+        mis_core::engine::available_threads(),
         plain_bytes,
         comp_bytes,
         plain_bytes as f64 / comp_bytes as f64,
@@ -259,6 +343,14 @@ pub fn run() {
         Ok(()) => println!("  wrote {out_path}"),
         Err(e) => eprintln!("  could not write {out_path}: {e}"),
     }
+
+    ledger.metric("vertices", graph.num_vertices() as f64);
+    ledger.metric("edges", graph.num_edges() as f64);
+    ledger.metric("plain_bytes", plain_bytes as f64);
+    ledger.metric("compressed_bytes", comp_bytes as f64);
+    ledger.metric("compression_ratio", plain_bytes as f64 / comp_bytes as f64);
+    ledger.metric("blocks_saved_total", total_saved as f64);
+    harness::ledger_append(&ledger);
 }
 
 #[cfg(test)]
@@ -282,10 +374,24 @@ mod tests {
         )
         .unwrap();
         let comp = compress_adj(&plain, &scratch.file("g.cadj"), stats, block_size).unwrap();
+        let plain_model = CostModel {
+            vertices: graph.num_vertices() as u64,
+            edges: graph.num_edges(),
+            file_bytes: plain.disk_bytes().unwrap(),
+            block_size: block_size as u64,
+            storage: plain.storage().to_string(),
+        };
+        let comp_model = CostModel {
+            file_bytes: comp.disk_bytes().unwrap(),
+            storage: comp.storage().to_string(),
+            ..plain_model.clone()
+        };
         for algo in ALGOS {
             for mode in MODES {
-                let p = measure(plain.path(), block_size, algo, mode);
-                let c = measure(comp.path(), block_size, algo, mode);
+                let mut p = measure(plain.path(), block_size, algo, mode);
+                let mut c = measure(comp.path(), block_size, algo, mode);
+                check_side(&mut p, &plain_model, algo, mode);
+                check_side(&mut c, &comp_model, algo, mode);
                 assert_eq!(p.is_size, c.is_size, "{algo}/{mode}");
                 assert!(p.maximal && c.maximal, "{algo}/{mode}");
                 assert!(

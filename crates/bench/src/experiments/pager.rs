@@ -16,8 +16,10 @@ use std::time::Instant;
 use mis_core::{Greedy, SwapConfig, TwoKSwap};
 use mis_extmem::pager::PolicyKind;
 use mis_extmem::{IoSnapshot, IoStats, PagerConfig, ScratchDir, SortConfig};
-use mis_graph::{build_adj_file, degree_sort_adj_file, AdjFile, RandomAccessGraph};
+use mis_graph::{build_adj_file, degree_sort_adj_file, AdjFile, GraphScan, RandomAccessGraph};
+use mis_obs::{CostModel, LedgerEntry, ModelVerdict, Workload};
 
+use super::parallel::MODEL_TOLERANCE;
 use crate::harness;
 
 /// Default output path of the machine-readable results.
@@ -32,6 +34,28 @@ struct Side {
     wall_ms: f64,
     paged_rounds: u64,
     rounds: u32,
+    /// Cost-model conformance verdict (filled in by [`check_side`]).
+    model: Option<ModelVerdict>,
+}
+
+/// Checks one side against the cost model: greedy seed → two-k with a
+/// final maximality pass, no separate proof scan; the paged side adds
+/// the one accounted index-build scan.
+fn check_side(side: &mut Side, model: &CostModel) {
+    let workload = Workload::GreedyThenSwap {
+        rounds: side.rounds as u64,
+        paged_rounds: side.paged_rounds,
+        finalize: true,
+        extra_scans: u64::from(side.label == "paged"), // index-build scan
+    };
+    let verdict = model.check(
+        Some(workload),
+        side.io.scans_started,
+        side.io.blocks_read,
+        MODEL_TOLERANCE,
+    );
+    assert!(verdict.pass, "{}: {verdict}", side.label);
+    side.model = Some(verdict);
 }
 
 fn measure(path: &std::path::Path, block_size: usize, cache: Option<(PagerConfig, f64)>) -> Side {
@@ -61,16 +85,17 @@ fn measure(path: &std::path::Path, block_size: usize, cache: Option<(PagerConfig
         wall_ms,
         paged_rounds: outcome.stats.paged_rounds,
         rounds: outcome.stats.num_rounds(),
+        model: None,
     }
 }
 
 fn side_json(side: &Side) -> String {
-    format!(
+    let mut json = format!(
         concat!(
             "{{\"is_size\": {}, \"rounds\": {}, \"paged_rounds\": {}, ",
             "\"file_scans\": {}, \"blocks_read\": {}, \"bytes_read\": {}, ",
             "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, ",
-            "\"cache_hit_rate\": {:.4}, \"wall_ms\": {:.2}}}"
+            "\"cache_hit_rate\": {:.4}, \"wall_ms\": {:.2}"
         ),
         side.is_size,
         side.rounds,
@@ -83,7 +108,12 @@ fn side_json(side: &Side) -> String {
         side.io.cache_evictions,
         side.io.cache_hit_rate(),
         side.wall_ms,
-    )
+    );
+    if let Some(verdict) = &side.model {
+        json.push_str(&format!(", \"model\": {}", verdict.to_json()));
+    }
+    json.push('}');
+    json
 }
 
 /// Runs the experiment, prints the comparison and writes the JSON file.
@@ -119,9 +149,18 @@ pub fn run() {
     let file_bytes = sorted.disk_bytes().expect("metadata");
     let path = sorted.path().to_path_buf();
 
-    let scan_side = measure(&path, block_size, None);
+    let mut scan_side = measure(&path, block_size, None);
     let pager_config = PagerConfig::with_capacity_bytes(cache_bytes, block_size, PolicyKind::Clock);
-    let paged_side = measure(&path, block_size, Some((pager_config, threshold)));
+    let mut paged_side = measure(&path, block_size, Some((pager_config, threshold)));
+    let model = CostModel {
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges(),
+        file_bytes,
+        block_size: block_size as u64,
+        storage: sorted.storage().to_string(),
+    };
+    check_side(&mut scan_side, &model);
+    check_side(&mut paged_side, &model);
 
     let rows: Vec<Vec<String>> = [&scan_side, &paged_side]
         .iter()
@@ -175,6 +214,10 @@ pub fn run() {
         pager_config.policy.name(),
         threshold,
     );
+    println!(
+        "  cost model: both sides conform (blocks within ±{:.0}% of scans × ⌈bytes/B⌉)",
+        MODEL_TOLERANCE * 100.0
+    );
 
     let json = format!(
         concat!(
@@ -183,6 +226,8 @@ pub fn run() {
             "  \"graph\": {{\"model\": \"plrg\", \"beta\": 2.0, \"seed\": 42, ",
             "\"vertices\": {}, \"edges\": {}, \"file_bytes\": {}}},\n",
             "  \"block_size\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"available_threads\": {},\n",
             "  \"cache\": {{\"bytes\": {}, \"frames\": {}, \"policy\": \"{}\", ",
             "\"paged_threshold\": {:.2}}},\n",
             "  \"scan_only\": {},\n",
@@ -194,6 +239,8 @@ pub fn run() {
         graph.num_edges(),
         file_bytes,
         block_size,
+        mis_obs::hardware_threads(),
+        mis_core::engine::available_threads(),
         cache_bytes,
         pager_config.frames,
         pager_config.policy.name(),
@@ -208,6 +255,28 @@ pub fn run() {
         Ok(()) => println!("  wrote {out_path}"),
         Err(e) => eprintln!("  could not write {out_path}: {e}"),
     }
+
+    let mut ledger = LedgerEntry::new(
+        "repro pager",
+        &format!("plrg beta=2.0 n={}", graph.num_vertices()),
+        harness::env_fingerprint(block_size, &model.storage),
+    );
+    ledger.metric("vertices", graph.num_vertices() as f64);
+    ledger.metric("edges", graph.num_edges() as f64);
+    ledger.metric("file_bytes", file_bytes as f64);
+    ledger.metric("is_size", scan_side.is_size as f64);
+    ledger.metric("scan_only_blocks_read", scan_side.io.blocks_read as f64);
+    ledger.metric("paged_blocks_read", paged_side.io.blocks_read as f64);
+    ledger.metric("blocks_saved", saved as f64);
+    ledger.metric("paged_rounds", paged_side.paged_rounds as f64);
+    ledger.metric("cache_hit_rate", paged_side.io.cache_hit_rate());
+    for side in [&scan_side, &paged_side] {
+        ledger.verdict(
+            &format!("model {}", side.label),
+            side.model.as_ref().is_some_and(|v| v.pass),
+        );
+    }
+    harness::ledger_append(&ledger);
 }
 
 #[cfg(test)]
@@ -225,9 +294,18 @@ mod tests {
         let block_size = 4096;
         let file = build_adj_file(&graph, &scratch.file("g.adj"), stats, block_size).unwrap();
         let path = file.path().to_path_buf();
-        let scan_side = measure(&path, block_size, None);
+        let mut scan_side = measure(&path, block_size, None);
         let pc = PagerConfig::with_capacity_bytes(1 << 20, block_size, PolicyKind::Lru);
-        let paged_side = measure(&path, block_size, Some((pc, 1.0)));
+        let mut paged_side = measure(&path, block_size, Some((pc, 1.0)));
+        let model = CostModel {
+            vertices: graph.num_vertices() as u64,
+            edges: graph.num_edges(),
+            file_bytes: file.disk_bytes().unwrap(),
+            block_size: block_size as u64,
+            storage: file.storage().to_string(),
+        };
+        check_side(&mut scan_side, &model);
+        check_side(&mut paged_side, &model);
         assert_eq!(scan_side.is_size, paged_side.is_size);
         assert!(paged_side.paged_rounds > 0);
         assert!(

@@ -30,12 +30,19 @@ use mis_core::engine::available_threads;
 use mis_core::{prove_maximal_with, Executor, Greedy, SwapConfig, TwoKSwap};
 use mis_extmem::{IoSnapshot, IoStats, ScratchDir, SortConfig};
 use mis_graph::{build_adj_file, compress_adj, degree_sort_adj_file, AnyAdjFile, GraphScan};
-use mis_obs::{Trace, TraceReport};
+use mis_obs::{CostModel, LedgerEntry, ModelVerdict, Trace, TraceReport, Workload};
 
 use crate::harness::{self, SplitTimes};
 
 /// Default output path of the machine-readable results.
 pub const DEFAULT_JSON_PATH: &str = "BENCH_parallel.json";
+
+/// Blocks-read tolerance of the cost-model conformance checks: opening
+/// a file reads its header through the block reader (+1 block that no
+/// whole-scan prediction accounts for), which at smoke scales — where a
+/// scan is only one or two blocks — is a several-percent relative
+/// error. The scan-*count* side of the check stays exact.
+pub(crate) const MODEL_TOLERANCE: f64 = 0.1;
 
 /// Command-line configuration of the experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,10 +113,13 @@ struct Side {
     threads: usize,
     is_size: u64,
     rounds: u32,
+    paged_rounds: u64,
     scans: u64,
     io: IoSnapshot,
     times: SplitTimes,
     maximal: bool,
+    /// Cost-model conformance verdict (filled in by [`check_side`]).
+    model: Option<ModelVerdict>,
     /// Fraction of worker wall-time spent in decode/fold (from the side's
     /// own trace; `None` when untraced or the backend spawned no workers).
     worker_utilization: Option<f64>,
@@ -151,13 +161,43 @@ fn measure(path: &Path, block_size: usize, executor: Executor) -> Side {
         threads: executor.threads(),
         is_size: outcome.result.set.len() as u64,
         rounds: outcome.stats.num_rounds(),
+        paged_rounds: outcome.stats.paged_rounds,
         scans: greedy_scans + outcome.result.file_scans + 1, // + proof scan
         io: stats.snapshot(),
         times,
         maximal: proof.is_maximal_independent(),
         worker_utilization: None,
         queue_wait_ms: None,
+        model: None,
     }
+}
+
+/// Checks one side's I/O counters against the paper's cost model and
+/// stores the verdict on the side: the pipeline is greedy → two-k →
+/// maximality proof, plus the warm-up scan and the proof pass as the
+/// two accounted extra scans.
+fn check_side(side: &mut Side, vertices: u64, edges: u64, file_bytes: u64, block_size: usize) {
+    let model = CostModel {
+        vertices,
+        edges,
+        file_bytes,
+        block_size: block_size as u64,
+        storage: side.storage.to_string(),
+    };
+    let workload = Workload::GreedyThenSwap {
+        rounds: side.rounds as u64,
+        paged_rounds: side.paged_rounds,
+        finalize: true,
+        extra_scans: 2, // warm-up scan + maximality proof
+    };
+    let verdict = model.check(
+        Some(workload),
+        side.io.scans_started,
+        side.io.blocks_read,
+        MODEL_TOLERANCE,
+    );
+    assert!(verdict.pass, "{}/{}: {verdict}", side.storage, side.label);
+    side.model = Some(verdict);
 }
 
 fn side_json(side: &Side) -> String {
@@ -186,6 +226,9 @@ fn side_json(side: &Side) -> String {
     }
     if let Some(wait) = side.queue_wait_ms {
         json.push_str(&format!(", \"queue_wait_ms\": {wait:.2}"));
+    }
+    if let Some(verdict) = &side.model {
+        json.push_str(&format!(", \"model\": {}", verdict.to_json()));
     }
     json.push('}');
     json
@@ -287,6 +330,12 @@ fn run_with(cli: ParallelArgs) {
     let mut sides = Vec::new();
     {
         let mut measure_traced = |path: &Path, executor: Executor| {
+            if traced {
+                // Belt and braces: anything still queued before this
+                // side starts belongs to the combined timeline, never
+                // to this side's report.
+                combined.extend(mis_obs::drain());
+            }
             let mut side = measure(path, block_size, executor);
             if traced {
                 let trace = mis_obs::drain();
@@ -340,6 +389,29 @@ fn run_with(cli: ParallelArgs) {
     .map(|s| s.to_string())
     .collect::<Vec<_>>();
     harness::print_table(&header, &rows);
+
+    // Every side must conform to the paper's I/O cost model: exact
+    // scan count, blocks within tolerance of scans × ⌈bytes/B⌉.
+    let plain_label = sides[0].storage;
+    for side in &mut sides {
+        let bytes = if side.storage == plain_label {
+            file_bytes
+        } else {
+            comp_bytes
+        };
+        check_side(
+            side,
+            graph.num_vertices() as u64,
+            graph.num_edges(),
+            bytes,
+            block_size,
+        );
+    }
+    println!(
+        "  cost model: all {} sides conform (exact scan counts, blocks within ±{:.0}%)",
+        sides.len(),
+        MODEL_TOLERANCE * 100.0
+    );
 
     // The thread count must not change the result within a storage, and
     // the storage codec must not change the result either.
@@ -461,28 +533,55 @@ fn run_with(cli: ParallelArgs) {
         Err(e) => eprintln!("  could not write {out_path}: {e}"),
     }
 
+    // One ledger entry for the whole experiment: result metrics, the
+    // measured speedups, and one conformance verdict per side.
+    let mut entry = LedgerEntry::new(
+        "repro parallel",
+        &format!("plrg beta=2.0 n={}", graph.num_vertices()),
+        harness::env_fingerprint(block_size, &format!("{plain_storage}+{comp_storage}")),
+    );
+    entry.metric("vertices", graph.num_vertices() as f64);
+    entry.metric("edges", graph.num_edges() as f64);
+    entry.metric("file_bytes", file_bytes as f64);
+    entry.metric("compressed_bytes", comp_bytes as f64);
+    entry.metric("is_size", baseline.is_size as f64);
+    entry.metric("plain_scan_speedup", plain_speedup);
+    entry.metric("compressed_scan_speedup", comp_speedup);
+    entry.metric("speedup_4_over_1", speedup_4_over_1);
+    entry.metric("scans", total_io.scans_started as f64);
+    entry.metric("blocks_read", total_io.blocks_read as f64);
+    entry.metric("bytes_read", total_io.bytes_read as f64);
+    for side in &sides {
+        entry.verdict(
+            &format!("model {}/{}", side.storage, side.label),
+            side.model.as_ref().is_some_and(|v| v.pass),
+        );
+    }
+
     // Write the combined timeline and ingest it: the round-trip through
     // the JSONL file is deliberate — it exercises the same parse path
-    // `mis trace report` uses.
+    // `mis trace report` uses. The re-read report also lands in the
+    // ledger entry as the per-phase breakdown.
     if let Some(trace_path) = &cli.trace {
         combined.extend(mis_obs::drain());
         mis_obs::set_enabled(false);
-        if let Err(e) = combined.save(trace_path) {
-            eprintln!("  could not write {}: {e}", trace_path.display());
-            return;
-        }
-        match TraceReport::load(trace_path) {
-            Ok(report) => {
-                println!(
-                    "  wrote {} ({} events)",
-                    trace_path.display(),
-                    report.num_events
-                );
-                print!("{}", report.render());
-            }
-            Err(e) => eprintln!("  could not re-read {}: {e}", trace_path.display()),
+        match combined.save(trace_path) {
+            Ok(()) => match TraceReport::load(trace_path) {
+                Ok(report) => {
+                    println!(
+                        "  wrote {} ({} events)",
+                        trace_path.display(),
+                        report.num_events
+                    );
+                    print!("{}", report.render());
+                    entry.ingest_report(&report);
+                }
+                Err(e) => eprintln!("  could not re-read {}: {e}", trace_path.display()),
+            },
+            Err(e) => eprintln!("  could not write {}: {e}", trace_path.display()),
         }
     }
+    harness::ledger_append(&entry);
 }
 
 #[cfg(test)]
@@ -507,12 +606,25 @@ mod tests {
         .unwrap();
         let comp = compress_adj(&file, &scratch.file("g.cadj"), stats, block_size).unwrap();
         for path in [file.path().to_path_buf(), comp.path().to_path_buf()] {
-            let baseline = measure(&path, block_size, Executor::Sequential);
+            let file_bytes = std::fs::metadata(&path).unwrap().len();
+            let check = |side: &mut Side| {
+                check_side(
+                    side,
+                    graph.num_vertices() as u64,
+                    graph.num_edges(),
+                    file_bytes,
+                    block_size,
+                );
+                assert!(side.model.as_ref().unwrap().pass);
+            };
+            let mut baseline = measure(&path, block_size, Executor::Sequential);
+            check(&mut baseline);
             assert!(baseline.maximal);
             assert!(baseline.times.setup_ms > 0.0, "setup phase was timed");
             assert!(baseline.times.scan_ms > 0.0, "scan phase was timed");
             for workers in [1usize, 2, 4] {
-                let side = measure(&path, block_size, Executor::parallel(workers));
+                let mut side = measure(&path, block_size, Executor::parallel(workers));
+                check(&mut side);
                 assert_eq!(side.is_size, baseline.is_size, "workers {workers}");
                 assert_eq!(side.rounds, baseline.rounds, "workers {workers}");
                 assert_eq!(side.scans, baseline.scans, "workers {workers}");
@@ -525,7 +637,7 @@ mod tests {
             let fragment = side_json(&baseline);
             for key in [
                 "storage", "backend", "threads", "is_size", "maximal", "setup_ms", "scan_ms",
-                "wall_ms",
+                "wall_ms", "model",
             ] {
                 assert!(fragment.contains(key), "missing {key} in {fragment}");
             }

@@ -57,6 +57,25 @@ impl DatasetRun {
 // trace layer); re-exported here so experiment code keeps one import.
 pub use mis_obs::{timed, timed_split, SplitTimes};
 
+/// Environment fingerprint for experiment ledger entries: the machine's
+/// thread counts, the experiment's block size and storage label, and
+/// CI's `GITHUB_SHA` as the git revision when present.
+pub fn env_fingerprint(block_size: usize, storage: &str) -> mis_obs::EnvFingerprint {
+    mis_obs::EnvFingerprint::detect(block_size as u64, storage, std::env::var("GITHUB_SHA").ok())
+}
+
+/// Appends one entry to the perf ledger (`BENCH_HISTORY_OUT`, default
+/// `BENCH_history.jsonl`). An unwritable ledger is reported but does
+/// not fail the experiment — the measurement itself already happened
+/// and its assertions already ran.
+pub fn ledger_append(entry: &mis_obs::LedgerEntry) {
+    let ledger = mis_obs::Ledger::open_default();
+    match ledger.append(entry) {
+        Ok(()) => println!("  appended ledger entry -> {}", ledger.path().display()),
+        Err(e) => eprintln!("  could not append to {}: {e}", ledger.path().display()),
+    }
+}
+
 /// Runs the full six-algorithm suite of Table 5 on `graph`:
 /// `DynamicUpdate`, `STXXL` (time-forward processing), `Baseline`,
 /// one-k/two-k after Baseline, `Greedy`, one-k/two-k after Greedy.

@@ -235,10 +235,17 @@ impl Executor {
                 std::thread::scope(|s| {
                     let reader = s.spawn(|| {
                         obs::name_thread("reader");
-                        let _guard = CloseOnDrop(&queue);
-                        graph.scan_blocks(cfg.block_records.max(1), &mut |block| {
-                            handout(&queue, block);
-                        })
+                        let io = {
+                            let _guard = CloseOnDrop(&queue);
+                            graph.scan_blocks(cfg.block_records.max(1), &mut |block| {
+                                handout(&queue, block);
+                            })
+                        };
+                        // Joining the scope does not wait for TLS
+                        // destructors, so hand buffered events to the
+                        // sink before the closure returns.
+                        obs::flush_local();
+                        io
                     });
                     {
                         // Close on unwind too, so a panicking fold never
@@ -305,6 +312,7 @@ where
                         .expect("shard list poisoned")
                         .push((block.seq(), shard));
                 }
+                obs::flush_local();
             });
         }
         // The calling thread is the block reader.

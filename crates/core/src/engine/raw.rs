@@ -110,6 +110,7 @@ pub(super) fn run_pass_raw<P: ScanPass>(
                         }
                     }
                 }
+                obs::flush_local();
             });
         }
         // The calling thread is the framing reader.
@@ -312,6 +313,7 @@ pub(super) fn fold_ordered_raw(
                 // only observe "queue drained" with `total` already set.
                 sink.reader_done(produced);
             }
+            obs::flush_local();
             io
         });
         for _ in 0..threads {
@@ -343,6 +345,7 @@ pub(super) fn fold_ordered_raw(
                         }
                     }
                 }
+                obs::flush_local();
             });
         }
         let fold = (|| -> io::Result<()> {

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bound;
+pub mod cost;
 pub mod cover;
 pub mod dynamic;
 pub mod engine;

@@ -228,4 +228,53 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.buckets().count(), 0);
     }
+
+    #[test]
+    fn empty_histogram_answers_every_quantile_with_zero() {
+        let h = LogHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(777);
+        // Whatever q, the only sample is the answer — clamped to the
+        // true max, not its bucket bound (1023).
+        for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q = {q}");
+        }
+        assert_eq!(h.mean(), 777.0);
+        assert_eq!(h.count(), 1);
+        // A single zero sample likewise.
+        let mut z = LogHistogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn saturating_top_bucket_holds_and_reports_u64_max() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX); // top bucket: [2^63, u64::MAX]
+        h.record(1u64 << 63); // same bucket, smallest member
+        h.record(1); // far below
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        // The top bucket's upper bound must not overflow past
+        // u64::MAX, and quantiles inside it clamp to the true max.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.67), u64::MAX);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.max(), u64::MAX);
+        // The u128 running sum survives two ~2^64 samples.
+        let expected = (u128::from(u64::MAX) + (1u128 << 63) + 1) as f64 / 3.0;
+        assert!((h.mean() - expected).abs() / expected < 1e-12);
+        let top = h.buckets().last().unwrap();
+        assert_eq!(top, (1u64 << 63, u64::MAX, 2));
+    }
 }

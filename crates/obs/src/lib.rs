@@ -26,6 +26,20 @@
 //!   per line) and aggregates it into a per-phase wall-time breakdown
 //!   and a per-worker utilization table; `mis trace report` and the
 //!   `repro parallel` experiment both build on it.
+//! * [`ledger`] — an append-only, per-line-checksummed
+//!   `BENCH_history.jsonl` performance ledger: every `repro`
+//!   experiment and every `mis run|stats|bound --record` appends one
+//!   [`ledger::LedgerEntry`] carrying result metrics, an environment
+//!   fingerprint and the per-phase trace breakdown.
+//! * [`model`] — the paper's I/O cost model as an executable
+//!   prediction ([`model::CostModel`]): expected scans-per-round and
+//!   blocks-per-scan from graph header stats, plus a conformance
+//!   checker that asserts observed `IoStats` stay within a stated
+//!   tolerance.
+//! * [`gate`] — the noise-aware regression gate behind
+//!   `mis bench diff|check`: exact gates for deterministic I/O counts,
+//!   ratio gates for wall-clock metrics that auto-skip when the
+//!   environment fingerprint differs.
 //!
 //! ## Event schema
 //!
@@ -70,14 +84,20 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod gate;
 pub mod hist;
+pub mod ledger;
+pub mod model;
 pub mod report;
 pub mod trace;
 
 pub use clock::{hardware_threads, timed, timed_split, SplitTimes};
+pub use gate::{check_snapshots, diff_snapshots, GateConfig, GateOutcome};
 pub use hist::LogHistogram;
+pub use ledger::{EnvFingerprint, Ledger, LedgerEntry};
+pub use model::{CostModel, ModelVerdict, Workload};
 pub use report::TraceReport;
 pub use trace::{
-    counter, drain, enabled, instant, name_thread, observe_ns, set_enabled, span, Event, EventKind,
-    SpanGuard, Trace,
+    counter, drain, enabled, flush_local, instant, name_thread, observe_ns, set_enabled, span,
+    Event, EventKind, SpanGuard, Trace,
 };

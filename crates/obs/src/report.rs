@@ -672,6 +672,131 @@ impl TraceReport {
         }
         out
     }
+
+    /// The report as one machine-readable JSON object — what
+    /// `mis trace report --json` prints and what the ledger's callers
+    /// consume instead of re-parsing the rendered text. The output
+    /// round-trips through [`parse_json`].
+    pub fn render_json(&self) -> String {
+        fn num(v: f64) -> f64 {
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"num_events\":{},\"num_spans\":{},\"wall_us\":{},\"phase_coverage\":{}",
+            self.num_events,
+            self.num_spans,
+            num(self.wall_us),
+            num(self.phase_coverage())
+        );
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"total_us\":{},\"count\":{}}}",
+                escape_json(&p.name),
+                num(p.total_us),
+                p.count
+            );
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tid\":{},\"role\":\"{}\",\"busy_us\":{},\"wait_us\":{},\
+                 \"span_us\":{},\"utilization\":{}}}",
+                w.tid,
+                escape_json(&w.role),
+                num(w.busy_us),
+                num(w.wait_us),
+                num(w.span_us),
+                num(w.utilization())
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"worker_utilization\":{},\"pass_us\":{},\"queue_wait_us\":{},\
+             \"handout_us\":{},\"reorder_stall_us\":{}",
+            num(self.worker_utilization()),
+            num(self.pass_us),
+            num(self.queue_wait_us),
+            num(self.handout_us),
+            num(self.reorder_stall_us)
+        );
+        out.push_str(",\"hists\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cat\":\"{}\",\"name\":\"{}\",\"count\":{},\"mean_ns\":{},\
+                 \"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                escape_json(&h.cat),
+                escape_json(&h.name),
+                h.count,
+                num(h.mean_ns),
+                h.p50_ns,
+                h.p99_ns,
+                h.max_ns
+            );
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cat\":\"{}\",\"name\":\"{}\",\"samples\":{},\"last\":{},\"max\":{}}}",
+                escape_json(&c.cat),
+                escape_json(&c.name),
+                c.samples,
+                num(c.last),
+                num(c.max)
+            );
+        }
+        let _ = write!(out, "],\"nesting_ok\":{},", self.nesting_ok());
+        out.push_str("\"nesting_violations\":[");
+        for (i, v) in self.nesting_violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", escape_json(v));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the writers in this crate.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn fmt_us(us: f64) -> String {
@@ -1012,10 +1137,54 @@ mod tests {
     #[test]
     fn empty_trace_reports_zeroes() {
         let report = TraceReport::from_trace(&Trace::default());
+        assert_eq!(report.num_events, 0);
         assert_eq!(report.num_spans, 0);
         assert_eq!(report.wall_us, 0.0);
         assert_eq!(report.phase_coverage(), 0.0);
         assert_eq!(report.worker_utilization(), 0.0);
         assert!(report.nesting_ok());
+        assert!(report.phases.is_empty() && report.workers.is_empty());
+        // An empty-but-valid JSONL trace (blank lines only) behaves
+        // identically, and both renderers stay well formed.
+        let parsed = TraceReport::from_jsonl_str("\n\n").unwrap();
+        assert_eq!(parsed.num_events, 0);
+        assert_eq!(parsed.worker_utilization(), 0.0);
+        assert!(parsed.render().contains("0 events, 0 spans"));
+        let json = parse_json(&parsed.render_json()).expect("valid JSON");
+        assert_eq!(json.get("num_events").unwrap().as_f64(), Some(0.0));
+        assert_eq!(json.get("nesting_ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("phases"), Some(&Json::Arr(vec![])));
+    }
+
+    #[test]
+    fn render_json_round_trips_through_the_parser() {
+        let report = TraceReport::from_trace(&sample_trace());
+        let json = parse_json(&report.render_json()).expect("valid JSON");
+        assert_eq!(
+            json.get("num_spans").unwrap().as_f64(),
+            Some(report.num_spans as f64)
+        );
+        let phases = match json.get("phases") {
+            Some(Json::Arr(p)) => p,
+            other => panic!("phases not an array: {other:?}"),
+        };
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("open"));
+        let workers = match json.get("workers") {
+            Some(Json::Arr(w)) => w,
+            other => panic!("workers not an array: {other:?}"),
+        };
+        assert_eq!(workers.len(), 2);
+        let util = json.get("worker_utilization").unwrap().as_f64().unwrap();
+        assert!((util - report.worker_utilization()).abs() < 1e-9);
+        let hists = match json.get("hists") {
+            Some(Json::Arr(h)) => h,
+            other => panic!("hists not an array: {other:?}"),
+        };
+        assert_eq!(hists[0].get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            json.get("queue_wait_us").unwrap().as_f64(),
+            Some(report.queue_wait_us)
+        );
     }
 }

@@ -34,8 +34,13 @@
 //!
 //! [`drain`] flushes the calling thread's buffer and takes the global
 //! sink; buffers of *other threads still running* are not visible until
-//! those threads exit or fill a batch, so drain after joining workers
-//! (the engine's scoped threads always satisfy this).
+//! those threads call [`flush_local`], fill a batch, or exit. Note that
+//! joining a thread (including via `std::thread::scope`) does **not**
+//! guarantee its thread-local destructors have run — a joined worker's
+//! tail of buffered events can land in the sink *after* a subsequent
+//! [`drain`]. Spawned threads that record events should therefore call
+//! [`flush_local`] as their last act (the engine's worker and reader
+//! closures do), making `drain`-after-join exact.
 
 use std::cell::RefCell;
 use std::io::{self, Write};
@@ -288,9 +293,22 @@ pub fn observe_ns(cat: &'static str, name: &'static str, value_ns: u64) {
     }
 }
 
+/// Flushes the calling thread's buffered events into the global sink.
+///
+/// Spawned threads should call this as the last statement of their
+/// closure: relying on the thread-local destructor is not enough,
+/// because `join` (and `std::thread::scope`) may return before TLS
+/// destructors run, letting a worker's tail of events leak past the
+/// next [`drain`] into a later drain window. A no-op when the thread
+/// has no buffered events.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|cell| cell.borrow_mut().flush());
+}
+
 /// Flushes the calling thread's buffer and takes everything the sink
 /// has collected, leaving it empty. Buffers of other *still-running*
-/// threads are not included — drain after joining workers.
+/// threads are not included — have spawned threads [`flush_local`]
+/// before they return, then drain after joining them.
 pub fn drain() -> Trace {
     let _ = LOCAL.try_with(|cell| cell.borrow_mut().flush());
     let mut sink = global().lock().expect("trace sink poisoned");

@@ -25,6 +25,11 @@
 //!              (all take [--wal F] [--checkpoint F]; defaults derive
 //!               from the base path: <base>.wal / <base>.ckpt)
 //! mis trace    report <trace.jsonl>      summarise a recorded trace
+//!              [--json]                   machine-readable report
+//! mis bench    diff <base> <current>     side-by-side snapshot diff
+//!              check --baseline <file>    noise-aware regression gate
+//!                    [--current <file>] [--wall-tolerance F] [--wall-floor F]
+//!              history [--last N] [--ledger FILE]   show the perf ledger
 //! ```
 //!
 //! Every subcommand accepts `--block-size BYTES` (default 65536), the `B`
@@ -49,6 +54,21 @@
 //! `mis trace report FILE` (per-phase breakdown, per-worker utilization)
 //! or load it into `chrome://tracing` / Perfetto.
 //!
+//! `run`, `stats` and `bound` also accept `--record`: the command then
+//! appends one checksummed [`mis_obs::ledger::LedgerEntry`] — result
+//! metrics, environment fingerprint (`--rev` or `GITHUB_SHA` pins the
+//! git revision) and, when traced, the per-phase breakdown — to the
+//! append-only `BENCH_history.jsonl` performance ledger (`--ledger`
+//! or `BENCH_HISTORY_OUT` override the path). `mis stats
+//! --check-model` additionally checks the scan's observed I/O against
+//! the paper's cost model (`⌈bytes/B⌉` blocks per scan, see
+//! [`mis_obs::model`]) and fails when it does not conform within
+//! `--tolerance`. `mis bench check` gates a freshly measured
+//! `BENCH_*.json` snapshot against a committed baseline: I/O-count
+//! metrics must match exactly, wall-clock metrics get a noise band and
+//! are skipped automatically when the two environment fingerprints
+//! differ.
+//!
 //! `<graph>` and `<base>` accept plain (`MISADJ01`) and gap-compressed
 //! (`MISADJC1`) adjacency files everywhere, detected by magic bytes —
 //! including `mis run --cache-mb`, which builds the matching
@@ -64,7 +84,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mis_obs as obs;
-use mis_obs::TraceReport;
+use mis_obs::report::{parse_json, Json};
+use mis_obs::{
+    check_snapshots, diff_snapshots, CostModel, EnvFingerprint, GateConfig, Ledger, LedgerEntry,
+    TraceReport, Workload,
+};
 use semi_mis::algo::peeling::peel_and_solve;
 use semi_mis::extmem::{SortConfig, DEFAULT_BLOCK_SIZE};
 use semi_mis::graph::{
@@ -101,10 +125,17 @@ usage: mis <command> ... [--block-size BYTES]
          apply <base> [--rounds N] [--wal F] [--checkpoint F]
          compact <base> <out> [--format plain|compressed] [--wal F] [--checkpoint F]
          status <base> [--wal F] [--checkpoint F]
-  trace report <trace.jsonl>
+  trace report <trace.jsonl> [--json]
+  bench diff <base.json> <current.json>
+        check --baseline <file> [--current <file>]
+              [--wall-tolerance F] [--wall-floor F]
+        history [--last N] [--ledger FILE]
   (<graph>/<base> may be plain MISADJ01 or gap-compressed MISADJC1 files;
    run/stats/bound/update also take [--trace FILE] to record a Chrome-trace
-   JSONL timeline, inspected with `mis trace report` or chrome://tracing)
+   JSONL timeline, inspected with `mis trace report` or chrome://tracing;
+   run/stats/bound also take [--record] [--rev SHA] [--ledger FILE] to append
+   a checksummed entry to the BENCH_history.jsonl perf ledger, and stats
+   takes [--check-model] [--tolerance F] to enforce the I/O cost model)
 ";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
@@ -120,6 +151,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(rest),
         "update" => cmd_update(rest),
         "trace" => cmd_trace(rest),
+        "bench" => cmd_bench(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -128,7 +160,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 type Options = Vec<(String, String)>;
 
 /// Flags that take no value; parsed as `(name, "true")`.
-const BOOL_FLAGS: &[&str] = &["compress", "quiet"];
+const BOOL_FLAGS: &[&str] = &["compress", "quiet", "record", "check-model", "json"];
 
 /// Pulls `--name value` options, valueless `--flag`s and positional
 /// arguments apart.
@@ -261,11 +293,12 @@ fn print_io_summary(stats: &IoStats, report: Option<&TraceReport>) {
 }
 
 /// `mis trace report <trace.jsonl>`: render the per-phase breakdown and
-/// per-worker utilization table of a recorded trace. Fails on malformed
-/// JSONL and on traces with no spans at all (both indicate a broken
+/// per-worker utilization table of a recorded trace (`--json` for the
+/// machine-readable form the ledger ingests). Fails on malformed JSONL
+/// and on traces with no spans at all (both indicate a broken
 /// recording, which CI wants to catch).
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    let (pos, _opts) = parse_opts(args)?;
+    let (pos, opts) = parse_opts(args)?;
     let [action, path] = pos.as_slice() else {
         return Err("trace needs: report <trace.jsonl>".into());
     };
@@ -280,8 +313,193 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             "{path}: trace contains no span events — was it recorded with --trace?"
         ));
     }
-    print!("{}", report.render());
+    if opt(&opts, "json").is_some() {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
     Ok(())
+}
+
+/// The git revision to stamp ledger entries with: `--rev` when given,
+/// else CI's `GITHUB_SHA`, else none.
+fn opt_git_rev(opts: &Options) -> Option<String> {
+    opt(opts, "rev")
+        .map(str::to_string)
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+}
+
+/// What a `--record` append needs to know about the command around it.
+struct RecordCtx<'a> {
+    opts: &'a Options,
+    /// Ledger `source` field (`"mis run"`, `"mis stats"`, …).
+    source: &'a str,
+    /// Ledger `label` field (input path, algorithm, …).
+    label: String,
+    block_size: usize,
+    storage: &'a str,
+}
+
+/// When `--record` was given, appends one checksummed entry — the
+/// caller's metrics plus the shared I/O counters and, when traced, the
+/// per-phase breakdown — to the perf ledger (`--ledger`, then
+/// `BENCH_HISTORY_OUT`, then `BENCH_history.jsonl`).
+fn record_ledger(
+    ctx: RecordCtx<'_>,
+    stats: &IoStats,
+    report: Option<&TraceReport>,
+    fill: impl FnOnce(&mut LedgerEntry),
+) -> Result<(), String> {
+    if opt(ctx.opts, "record").is_none() {
+        return Ok(());
+    }
+    let env = EnvFingerprint::detect(ctx.block_size as u64, ctx.storage, opt_git_rev(ctx.opts));
+    let mut entry = LedgerEntry::new(ctx.source, &ctx.label, env);
+    fill(&mut entry);
+    let snap = stats.snapshot();
+    entry.metric("scans", snap.scans_started as f64);
+    entry.metric("blocks_read", snap.blocks_read as f64);
+    entry.metric("bytes_read", snap.bytes_read as f64);
+    if let Some(report) = report {
+        entry.ingest_report(report);
+    }
+    let ledger = match opt(ctx.opts, "ledger") {
+        Some(path) => Ledger::at(path),
+        None => Ledger::open_default(),
+    };
+    ledger
+        .append(&entry)
+        .map_err(|e| format!("{}: {e}", ledger.path().display()))?;
+    println!("recorded -> {}", ledger.path().display());
+    Ok(())
+}
+
+/// Reads and parses one `BENCH_*.json` snapshot.
+fn read_snapshot(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `mis bench <diff|check|history>`: the regression-gate and ledger
+/// tooling over `BENCH_*.json` snapshots and `BENCH_history.jsonl`.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let [action, rest @ ..] = pos.as_slice() else {
+        return Err(
+            "bench needs: diff <base> <current> | check --baseline <file> | history".into(),
+        );
+    };
+    match action.as_str() {
+        "diff" => {
+            let [a, b] = rest else {
+                return Err("bench diff needs: <base.json> <current.json>".into());
+            };
+            let (base, cur) = (read_snapshot(a)?, read_snapshot(b)?);
+            let deltas = diff_snapshots(&base, &cur);
+            let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x}"));
+            println!("diff: base = {a}, current = {b}");
+            println!(
+                "{:<44} {:>14} {:>14} {:>8}",
+                "metric", "base", "current", "delta"
+            );
+            for d in &deltas {
+                let rel = d
+                    .rel_change()
+                    .filter(|r| *r != 0.0)
+                    .map_or_else(String::new, |r| format!("{:+.1}%", r * 100.0));
+                println!(
+                    "{:<44} {:>14} {:>14} {:>8}",
+                    d.path,
+                    fmt(d.base),
+                    fmt(d.current),
+                    rel
+                );
+            }
+            println!("{} numeric leaves compared", deltas.len());
+            Ok(())
+        }
+        "check" => {
+            let baseline = opt(&opts, "baseline").ok_or("bench check needs --baseline <file>")?;
+            // Default current: the baseline's file name, resolved in the
+            // working directory (where a fresh `repro` run drops it).
+            let current = match opt(&opts, "current") {
+                Some(c) => c.to_string(),
+                None => Path::new(baseline)
+                    .file_name()
+                    .ok_or_else(|| format!("--baseline {baseline}: not a file path"))?
+                    .to_string_lossy()
+                    .into_owned(),
+            };
+            let defaults = GateConfig::default();
+            let cfg = GateConfig {
+                wall_tolerance: opt_parse(&opts, "wall-tolerance", defaults.wall_tolerance)?,
+                wall_floor: opt_parse(&opts, "wall-floor", defaults.wall_floor)?,
+            };
+            let out = check_snapshots(&read_snapshot(baseline)?, &read_snapshot(&current)?, &cfg);
+            println!(
+                "gate: {} exact leaves, {} wall/quality leaves ({})",
+                out.exact_compared,
+                out.wall_compared,
+                if out.wall_gated {
+                    "wall gates enforced"
+                } else {
+                    "wall gates skipped: fingerprints differ or missing"
+                }
+            );
+            for v in &out.violations {
+                println!("VIOLATION {v}");
+            }
+            if out.pass() {
+                println!("gate PASS: {current} vs {baseline}");
+                Ok(())
+            } else {
+                Err(format!(
+                    "bench check failed: {} violation(s) in {current} against {baseline}",
+                    out.violations.len()
+                ))
+            }
+        }
+        "history" => {
+            let ledger = match opt(&opts, "ledger") {
+                Some(path) => Ledger::at(path),
+                None => Ledger::open_default(),
+            };
+            let entries = ledger
+                .load()
+                .map_err(|e| format!("{}: {e}", ledger.path().display()))?;
+            let last: usize = opt_parse(&opts, "last", 10)?;
+            println!(
+                "{} verified entries in {}",
+                entries.len(),
+                ledger.path().display()
+            );
+            for e in &entries[entries.len().saturating_sub(last)..] {
+                let rev = e.env.git_rev.as_deref().unwrap_or("-");
+                let verdicts = if e.verdicts.is_empty() {
+                    "".to_string()
+                } else if e.verdicts.iter().all(|(_, pass)| *pass) {
+                    " [verdicts ok]".to_string()
+                } else {
+                    " [verdicts FAIL]".to_string()
+                };
+                let metrics: Vec<String> = e
+                    .metrics
+                    .iter()
+                    .take(4)
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                println!(
+                    "ts={} rev={rev} {} ({}) {}{verdicts}",
+                    e.ts_ms,
+                    e.source,
+                    e.label,
+                    metrics.join(" ")
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown bench action `{other}`")),
+    }
 }
 
 fn write_graph(
@@ -437,14 +655,16 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         return Err("stats needs: <graph>".into());
     };
     let executor = opt_executor(&opts)?;
+    let block_size = opt_block_size(&opts)?;
     let trace_path = opt_trace(&opts);
     let stats = IoStats::shared();
     let file = {
         let _open = obs::span("phase", "open");
-        open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?
+        open_any(Path::new(input), Arc::clone(&stats), block_size)?
     };
     let scan = file.as_scan();
     let n = scan.num_vertices();
+    let before_scan = stats.snapshot();
     let degrees = {
         let _scan_span = obs::span("phase", "scan");
         engine::passes::degree_stats(scan, &executor)
@@ -456,8 +676,58 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  max degree = {}", degrees.max_degree);
     println!("  isolated vertices = {}", degrees.isolated);
     println!("  pendant vertices  = {}", degrees.pendant);
-    if let Some(report) = finish_trace(trace_path.as_deref(), &stats)? {
-        print_io_summary(&stats, Some(&report));
+    // --check-model: the degree pass is exactly one sequential scan, so
+    // its I/O delta (header reads excluded via the pre-scan snapshot)
+    // must conform to the paper's `⌈bytes/B⌉` blocks-per-scan model.
+    let verdict = if opt(&opts, "check-model").is_some() {
+        let tolerance: f64 = opt_parse(&opts, "tolerance", 0.0)?;
+        let model = CostModel {
+            vertices: n as u64,
+            edges: scan.num_edges(),
+            file_bytes: file.disk_bytes().map_err(|e| e.to_string())?,
+            block_size: block_size as u64,
+            storage: scan.storage().to_string(),
+        };
+        let scanned = stats.snapshot().since(&before_scan);
+        let v = model.check(
+            Some(Workload::Greedy),
+            scanned.scans_started,
+            scanned.blocks_read,
+            tolerance,
+        );
+        println!("{v}");
+        Some(v)
+    } else {
+        None
+    };
+    let report = finish_trace(trace_path.as_deref(), &stats)?;
+    if let Some(report) = &report {
+        print_io_summary(&stats, Some(report));
+    }
+    record_ledger(
+        RecordCtx {
+            opts: &opts,
+            source: "mis stats",
+            label: input.clone(),
+            block_size,
+            storage: scan.storage(),
+        },
+        &stats,
+        report.as_ref(),
+        |e| {
+            e.metric("vertices", n as f64);
+            e.metric("edges", scan.num_edges() as f64);
+            e.metric("max_degree", degrees.max_degree as f64);
+            e.metric("isolated", degrees.isolated as f64);
+            if let Some(v) = &verdict {
+                e.verdict("model", v.pass);
+            }
+        },
+    )?;
+    if let Some(v) = verdict {
+        if !v.pass {
+            return Err(format!("cost-model conformance failed: {}", v.detail));
+        }
     }
     Ok(())
 }
@@ -468,11 +738,12 @@ fn cmd_bound(args: &[String]) -> Result<(), String> {
         return Err("bound needs: <graph>".into());
     };
     let executor = opt_executor(&opts)?;
+    let block_size = opt_block_size(&opts)?;
     let trace_path = opt_trace(&opts);
     let stats = IoStats::shared();
     let file = {
         let _open = obs::span("phase", "open");
-        open_any(Path::new(input), Arc::clone(&stats), opt_block_size(&opts)?)?
+        open_any(Path::new(input), Arc::clone(&stats), block_size)?
     };
     let scan = file.as_scan();
     let bound_span = obs::span("phase", "bound");
@@ -482,9 +753,26 @@ fn cmd_bound(args: &[String]) -> Result<(), String> {
     println!("Algorithm 5 (star partition): {star}");
     println!("matching bound (|V| - |M|):   {matching}");
     println!("best: {}", star.min(matching));
-    if let Some(report) = finish_trace(trace_path.as_deref(), &stats)? {
-        print_io_summary(&stats, Some(&report));
+    let report = finish_trace(trace_path.as_deref(), &stats)?;
+    if let Some(report) = &report {
+        print_io_summary(&stats, Some(report));
     }
+    record_ledger(
+        RecordCtx {
+            opts: &opts,
+            source: "mis bound",
+            label: input.clone(),
+            block_size,
+            storage: scan.storage(),
+        },
+        &stats,
+        report.as_ref(),
+        |e| {
+            e.metric("star_bound", star as f64);
+            e.metric("matching_bound", matching as f64);
+            e.metric("best_bound", star.min(matching) as f64);
+        },
+    )?;
     Ok(())
 }
 
@@ -656,6 +944,28 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let report = finish_trace(trace_path.as_deref(), &stats)?;
     print_io_summary(&stats, report.as_ref());
     println!("verified: independent = {independent}, maximal = {maximal}");
+    record_ledger(
+        RecordCtx {
+            opts: &opts,
+            source: "mis run",
+            label: format!("{algo} {input}"),
+            block_size,
+            storage: scan.storage(),
+        },
+        &stats,
+        report.as_ref(),
+        |e| {
+            e.metric("is_size", set.len() as f64);
+            e.metric("algo_scans", scans as f64);
+            e.metric("wall_ms", elapsed.as_secs_f64() * 1e3);
+            e.metric("threads", executor.threads() as f64);
+            if let Some(paged) = paged_rounds {
+                e.metric("paged_rounds", paged as f64);
+            }
+            e.verdict("independent", independent);
+            e.verdict("maximal", maximal);
+        },
+    )?;
     if !independent {
         return Err("result failed verification".into());
     }
@@ -1300,5 +1610,183 @@ mod tests {
         assert!(dispatch(&strs(&["trace", "report", &empty.display().to_string()])).is_err());
         assert!(dispatch(&strs(&["trace", "frob", &trace_s])).is_err());
         assert!(dispatch(&strs(&["trace", "report"])).is_err());
+
+        // --json renders the machine-readable form of the same report.
+        dispatch(&strs(&["trace", "report", &trace_s, "--json"])).unwrap();
+    }
+
+    /// A minimal `BENCH_*.json`-shaped snapshot with a fingerprint, an
+    /// I/O count and a wall metric.
+    const SNAP: &str = r#"{"experiment":"t","hardware_threads":8,"available_threads":8,
+        "sides":[{"label":"seq","blocks_read":273,"scans":13,"wall_ms":64.0}]}"#;
+
+    #[test]
+    fn bench_diff_and_check_gate_round_trip() {
+        let dir = ScratchDir::new("cli-bench").unwrap();
+        let base = dir.file("base.json");
+        std::fs::write(&base, SNAP).unwrap();
+        let base_s = base.display().to_string();
+
+        // Identical snapshots pass the gate and diff cleanly.
+        let same = dir.file("same.json").display().to_string();
+        std::fs::write(&same, SNAP).unwrap();
+        dispatch(&strs(&["bench", "diff", &base_s, &same])).unwrap();
+        dispatch(&strs(&[
+            "bench",
+            "check",
+            "--baseline",
+            &base_s,
+            "--current",
+            &same,
+        ]))
+        .unwrap();
+
+        // An injected I/O regression fails the gate with non-zero exit
+        // (`dispatch` erroring is exactly what drives `ExitCode::from(2)`).
+        let bad = dir.file("bad.json").display().to_string();
+        std::fs::write(
+            &bad,
+            SNAP.replace("\"blocks_read\":273", "\"blocks_read\":291"),
+        )
+        .unwrap();
+        let err = dispatch(&strs(&[
+            "bench",
+            "check",
+            "--baseline",
+            &base_s,
+            "--current",
+            &bad,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("violation"), "{err}");
+
+        // A wall-clock wobble within the noise band still passes…
+        let noisy = dir.file("noisy.json").display().to_string();
+        std::fs::write(&noisy, SNAP.replace("\"wall_ms\":64.0", "\"wall_ms\":80.0")).unwrap();
+        dispatch(&strs(&[
+            "bench",
+            "check",
+            "--baseline",
+            &base_s,
+            "--current",
+            &noisy,
+        ]))
+        .unwrap();
+        // …but a tightened tolerance turns the same wobble into a failure.
+        assert!(dispatch(&strs(&[
+            "bench",
+            "check",
+            "--baseline",
+            &base_s,
+            "--current",
+            &noisy,
+            "--wall-tolerance",
+            "0.1",
+            "--wall-floor",
+            "1",
+        ]))
+        .is_err());
+
+        // Bad invocations are rejected.
+        assert!(dispatch(&strs(&["bench", "frob"])).is_err());
+        assert!(dispatch(&strs(&["bench", "diff", &base_s])).is_err());
+        assert!(dispatch(&strs(&["bench", "check"])).is_err());
+    }
+
+    #[test]
+    fn record_appends_ledger_entries_and_history_reads_them() {
+        let dir = ScratchDir::new("cli-record").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "400",
+            "--edges",
+            "800",
+            &out,
+        ]))
+        .unwrap();
+        let ledger_path = dir.file("history.jsonl");
+        let ledger_s = ledger_path.display().to_string();
+        for cmd in ["run", "stats", "bound"] {
+            dispatch(&strs(&[
+                cmd, &out, "--record", "--ledger", &ledger_s, "--rev", "deadbee",
+            ]))
+            .unwrap();
+        }
+        let entries = mis_obs::Ledger::at(&ledger_path).load().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].source, "mis run");
+        assert_eq!(entries[1].source, "mis stats");
+        assert_eq!(entries[2].source, "mis bound");
+        for e in &entries {
+            assert_eq!(e.env.git_rev.as_deref(), Some("deadbee"));
+            assert!(e.get_metric("scans").unwrap() >= 1.0, "{:?}", e.metrics);
+            assert!(e.get_metric("blocks_read").unwrap() >= 1.0);
+        }
+        assert!(entries[0].get_metric("is_size").unwrap() > 0.0);
+        assert_eq!(
+            entries[0].verdicts,
+            vec![
+                ("independent".to_string(), true),
+                ("maximal".to_string(), true)
+            ]
+        );
+        assert!(entries[2].get_metric("best_bound").unwrap() > 0.0);
+
+        // `bench history` renders the same file; a tampered line fails it.
+        dispatch(&strs(&["bench", "history", "--ledger", &ledger_s])).unwrap();
+        let text = std::fs::read_to_string(&ledger_path).unwrap();
+        std::fs::write(&ledger_path, text.replacen("mis run", "mis fun", 1)).unwrap();
+        assert!(dispatch(&strs(&["bench", "history", "--ledger", &ledger_s])).is_err());
+    }
+
+    #[test]
+    fn stats_check_model_enforces_conformance() {
+        let dir = ScratchDir::new("cli-model").unwrap();
+        let out = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "plrg",
+            "--vertices",
+            "3000",
+            "--beta",
+            "2.0",
+            "--block-size",
+            "4096",
+            &out,
+        ]))
+        .unwrap();
+        // The degree pass is one scan of ⌈bytes/B⌉ blocks — the model
+        // must conform exactly, on both storage backends and executors.
+        dispatch(&strs(&[
+            "stats",
+            &out,
+            "--check-model",
+            "--block-size",
+            "4096",
+        ]))
+        .unwrap();
+        dispatch(&strs(&[
+            "stats",
+            &out,
+            "--check-model",
+            "--block-size",
+            "4096",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        let cout = dir.file("g.cadj").display().to_string();
+        dispatch(&strs(&["compress", &out, &cout, "--block-size", "4096"])).unwrap();
+        dispatch(&strs(&[
+            "stats",
+            &cout,
+            "--check-model",
+            "--block-size",
+            "4096",
+        ]))
+        .unwrap();
     }
 }

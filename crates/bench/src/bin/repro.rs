@@ -4,14 +4,16 @@
 //! repro <experiment>
 //!   table2 table4 table5 table6 table7 table8 table9
 //!   fig6 fig8 fig9 fig10
-//!   io pager parallel churn cascade ablation
+//!   io pager parallel shard churn cascade ablation
 //!   all        # everything (dataset suite computed once)
 //! ```
 //!
 //! `repro parallel` additionally accepts `--threads N` (top worker count
 //! of the reported speedup, default 4) and `--min-speedup X` (fail when
 //! the steady-state speedup falls short; skipped on machines with fewer
-//! than `N` hardware threads).
+//! than `N` hardware threads). `repro shard` measures the `MISSHRD1`
+//! sharded store against the unpartitioned backends and also accepts
+//! `--threads N`.
 //!
 //! Environment: `REPRO_SCALE` (default 1.0) scales analogue/sweep sizes,
 //! `REPRO_GRAPHS_PER_BETA` (default 3) controls sweep averaging.
@@ -36,6 +38,7 @@ fn main() {
         "io" => io::run(),
         "pager" => pager::run(),
         "parallel" => parallel::run_args(&args[1..]),
+        "shard" => shard::run_args(&args[1..]),
         "churn" => churn::run(),
         "cascade" => cascade::run(),
         "ablation" => ablation::run(),
@@ -73,6 +76,8 @@ fn main() {
             println!();
             parallel::run();
             println!();
+            shard::run();
+            println!();
             churn::run();
             println!();
             cascade::run();
@@ -87,7 +92,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|parallel|churn|cascade|ablation|bounds|peeling|compress|all>"
+                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|parallel|shard|churn|cascade|ablation|bounds|peeling|compress|all>"
             );
             std::process::exit(2);
         }

@@ -237,6 +237,7 @@ pub fn run_churn(n: u64, epochs: usize, ops_per_epoch: usize, block_size: usize)
         file_bytes: base_bytes,
         block_size: block_size as u64,
         storage: sorted.storage().to_string(),
+        shard_bytes: Vec::new(),
     };
     check_side(&mut incremental, &model);
     check_side(&mut rebuild, &model);

@@ -59,19 +59,20 @@ fn measure(path: &Path, block_size: usize, algo: &str, mode: &str) -> Side {
     // The paged mode gives the swap rounds a 4 MiB buffer pool with the
     // index flavour matching the record codec; greedy has no paged path
     // and simply ignores the provider.
-    let raccess: Option<RandomAccessGraph> = if mode == "paged" {
+    let raccess: Option<Box<dyn NeighborAccess>> = if mode == "paged" {
         let pc = PagerConfig::with_capacity_bytes(4 << 20, block_size, PolicyKind::Clock);
-        Some(
-            match &file {
-                AnyAdjFile::Plain(f) => RandomAccessGraph::open(f, pc),
-                AnyAdjFile::Compressed(f) => RandomAccessGraph::open_compressed(f, pc),
+        let ra: Box<dyn NeighborAccess> = match &file {
+            AnyAdjFile::Plain(f) => Box::new(RandomAccessGraph::open(f, pc).expect("ra open")),
+            AnyAdjFile::Compressed(f) => {
+                Box::new(RandomAccessGraph::open_compressed(f, pc).expect("ra open"))
             }
-            .expect("random-access open"),
-        )
+            AnyAdjFile::Sharded(g) => Box::new(g.open_random_access(pc).expect("ra open")),
+        };
+        Some(ra)
     } else {
         None
     };
-    let access = raccess.as_ref().map(|ra| ra as &dyn NeighborAccess);
+    let access = raccess.as_deref();
     let scan = file.as_scan();
 
     let start = Instant::now();
@@ -234,6 +235,7 @@ pub fn run() {
         file_bytes: plain_bytes,
         block_size: block_size as u64,
         storage: sorted.storage().to_string(),
+        shard_bytes: Vec::new(),
     };
     let comp_model = CostModel {
         file_bytes: comp_bytes,
@@ -380,6 +382,7 @@ mod tests {
             file_bytes: plain.disk_bytes().unwrap(),
             block_size: block_size as u64,
             storage: plain.storage().to_string(),
+            shard_bytes: Vec::new(),
         };
         let comp_model = CostModel {
             file_bytes: comp.disk_bytes().unwrap(),

@@ -158,6 +158,7 @@ pub fn run() {
         file_bytes,
         block_size: block_size as u64,
         storage: sorted.storage().to_string(),
+        shard_bytes: Vec::new(),
     };
     check_side(&mut scan_side, &model);
     check_side(&mut paged_side, &model);
@@ -303,6 +304,7 @@ mod tests {
             file_bytes: file.disk_bytes().unwrap(),
             block_size: block_size as u64,
             storage: file.storage().to_string(),
+            shard_bytes: Vec::new(),
         };
         check_side(&mut scan_side, &model);
         check_side(&mut paged_side, &model);

@@ -183,6 +183,7 @@ fn check_side(side: &mut Side, vertices: u64, edges: u64, file_bytes: u64, block
         file_bytes,
         block_size: block_size as u64,
         storage: side.storage.to_string(),
+        shard_bytes: Vec::new(),
     };
     let workload = Workload::GreedyThenSwap {
         rounds: side.rounds as u64,
@@ -354,6 +355,21 @@ fn run_with(cli: ParallelArgs) {
                 sides.push(measure_traced(path, Executor::parallel(w)));
             }
         }
+    }
+
+    // The 1-thread parallel backend must take the sequential bypass: no
+    // reader thread, no worker pool, no hand-out queue. A traced run
+    // proves it — the side's own trace must contain no worker timelines.
+    if traced {
+        for side in sides.iter().filter(|s| s.label == "par(1)") {
+            assert!(
+                side.worker_utilization.is_none(),
+                "{}/par(1): expected the sequential bypass (no worker threads), \
+                 but the trace recorded worker timelines",
+                side.storage
+            );
+        }
+        println!("  par(1) bypass verified: no worker threads traced on the 1-thread backend");
     }
 
     let rows: Vec<Vec<String>> = sides

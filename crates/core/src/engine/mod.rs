@@ -17,7 +17,13 @@
 //!   on-disk formats do), the reader only *frames* raw byte ranges and
 //!   each worker decodes its own units locally (the `raw` submodule),
 //!   so compressed-file decompression scales with the worker count
-//!   instead of serialising on the reader.
+//!   instead of serialising on the reader. When the backend is a
+//!   **sharded store** ([`mis_graph::ShardedScan`]), the reader thread
+//!   and the queue disappear entirely: each worker owns and streams
+//!   whole shards (the `sharded` submodule). And when only one fold
+//!   thread is effectively available — `threads <= 1`, or a sharded
+//!   store with a single shard — `Parallel` runs the sequential path
+//!   directly, so `par(1)` never costs more than `seq`.
 //!
 //! Two execution shapes cover all of the paper's passes:
 //!
@@ -53,9 +59,11 @@ use mis_obs as obs;
 pub mod passes;
 mod queue;
 mod raw;
+mod sharded;
 
 use queue::{BoundedQueue, CloseOnDrop};
 use raw::{fold_ordered_raw, run_pass_raw};
+use sharded::{fold_ordered_sharded, run_pass_sharded};
 
 /// Default number of records per hand-out block.
 ///
@@ -161,8 +169,10 @@ pub enum Executor {
 
 impl Executor {
     /// A parallel executor with `threads` fold workers and default block
-    /// sizing. `threads <= 1` still exercises the threaded backend (one
-    /// reader, one worker) — useful as a pipelined baseline.
+    /// sizing. `threads <= 1` runs the sequential path directly — one
+    /// worker behind a reader thread and a queue is strictly slower than
+    /// one thread doing both, so `par(1)` never pays the machinery it
+    /// cannot benefit from.
     pub fn parallel(threads: usize) -> Self {
         Executor::Parallel(ParallelConfig {
             threads: threads.max(1),
@@ -204,10 +214,23 @@ impl Executor {
                 graph.scan(&mut |v, ns| pass.visit(&mut shard, v, ns))?;
                 Ok(pass.finish(shard))
             }
-            Executor::Parallel(cfg) => match graph.raw_scan() {
-                Some(r) => run_pass_raw(r, pass, cfg),
-                None => run_pass_parallel(graph, pass, cfg),
-            },
+            Executor::Parallel(cfg) => {
+                if effective_threads(graph, cfg) <= 1 {
+                    // One fold thread gains nothing from a reader thread
+                    // plus a queue (or from shard ownership): run the
+                    // sequential path and skip the machinery entirely.
+                    let mut shard = pass.new_shard();
+                    graph.scan(&mut |v, ns| pass.visit(&mut shard, v, ns))?;
+                    return Ok(pass.finish(shard));
+                }
+                if let Some(sh) = graph.sharded() {
+                    return run_pass_sharded(sh, pass, cfg);
+                }
+                match graph.raw_scan() {
+                    Some(r) => run_pass_raw(r, pass, cfg),
+                    None => run_pass_parallel(graph, pass, cfg),
+                }
+            }
         }
     }
 
@@ -227,6 +250,12 @@ impl Executor {
         match self {
             Executor::Sequential => graph.scan(f),
             Executor::Parallel(cfg) => {
+                if effective_threads(graph, cfg) <= 1 {
+                    return graph.scan(f);
+                }
+                if let Some(sh) = graph.sharded() {
+                    return fold_ordered_sharded(sh, cfg, f);
+                }
                 if let Some(r) = graph.raw_scan() {
                     return fold_ordered_raw(r, cfg, f);
                 }
@@ -264,6 +293,18 @@ impl Executor {
                 })
             }
         }
+    }
+}
+
+/// The parallelism actually available for `graph` under `cfg`: a sharded
+/// store cannot use more workers than it has shards (each worker owns
+/// whole shards), and a single thread never benefits from the threaded
+/// machinery at all.
+fn effective_threads<G: GraphScan + ?Sized>(graph: &G, cfg: &ParallelConfig) -> usize {
+    let threads = cfg.threads.max(1);
+    match graph.sharded() {
+        Some(sh) => threads.min(sh.shard_count().max(1)),
+        None => threads,
     }
 }
 

@@ -1,0 +1,280 @@
+//! Shard-owning parallel backend over [`mis_graph::ShardedScan`] stores.
+//!
+//! The queue backends (`mod.rs`, `raw.rs`) funnel every byte through one
+//! reader thread; with enough workers, that reader is the bottleneck. A
+//! sharded store removes it: each worker **owns whole shards** — it opens
+//! and streams its shard files directly, folding records as it decodes
+//! them — so there is no reader thread and no MPMC hand-out queue on the
+//! mergeable path at all. Workers claim shard indices from one atomic
+//! counter (ascending, so the earliest unfinished shard is always being
+//! produced), and:
+//!
+//! * [`run_pass_sharded`] — each claimed shard is folded into a private
+//!   [`ScanPass`] shard; the per-shard results are merged **in manifest
+//!   order**, which by the sharded-layout invariant (concatenating shard
+//!   scans replays the unpartitioned record sequence) gives the exact
+//!   sequential output.
+//! * [`fold_ordered_sharded`] — order-dependent folds stay on the calling
+//!   thread; workers stream their shards into **per-shard** bounded
+//!   queues and the consumer drains the queues in manifest order. The
+//!   ascending claim order makes this deadlock-free: the lowest undrained
+//!   shard is always either claimed (its producer can progress because
+//!   the consumer is draining it) or about to be claimed by a worker that
+//!   finished an earlier shard.
+//!
+//! One logical pass is bracketed with
+//! [`ShardedScan::begin_logical_scan`] / [`end_logical_scan`], so the
+//! paper's I/O ledger charges exactly one scan and the per-shard block
+//! counters fold into the shared [`mis_extmem::IoStats`] without
+//! double-counting.
+//!
+//! [`end_logical_scan`]: ShardedScan::end_logical_scan
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mis_graph::{RecordBlock, ShardedScan, VertexId};
+use mis_obs as obs;
+
+use super::queue::{BoundedQueue, CloseOnDrop};
+use super::{ParallelConfig, ScanPass};
+
+/// Stores the first error a worker hits (later errors are dropped).
+fn stash(err: &Mutex<Option<io::Error>>, e: io::Error) {
+    let mut slot = err.lock().expect("error slot poisoned");
+    slot.get_or_insert(e);
+}
+
+/// Closes every per-shard queue when a thread unwinds, so a panicking
+/// worker can never leave the consumer (or a sibling producer) blocked.
+/// On normal exit it does nothing — each worker closes only the queues of
+/// the shards it owns.
+struct PanicCloser<'a, T>(&'a [BoundedQueue<T>]);
+
+impl<T> Drop for PanicCloser<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            for q in self.0 {
+                q.close();
+            }
+        }
+    }
+}
+
+/// The shard-owning backend of [`super::Executor::run_pass`].
+pub(super) fn run_pass_sharded<P: ScanPass>(
+    sharded: &dyn ShardedScan,
+    pass: &P,
+    cfg: &ParallelConfig,
+) -> io::Result<P::Output> {
+    let _pass_span = obs::span("engine", "pass.sharded");
+    let shard_count = sharded.shard_count();
+    let workers = cfg.threads.max(1).min(shard_count.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, P::Shard)>> = Mutex::new(Vec::new());
+    let err: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    sharded.begin_logical_scan();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                obs::name_thread("worker");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shard_count || err.lock().expect("error slot poisoned").is_some() {
+                        break;
+                    }
+                    let mut shard = pass.new_shard();
+                    let scanned = {
+                        let _fold = obs::span("engine", "worker.fold");
+                        sharded
+                            .shard_scan(i)
+                            .scan(&mut |v, ns| pass.visit(&mut shard, v, ns))
+                    };
+                    match scanned {
+                        Ok(()) => results
+                            .lock()
+                            .expect("result list poisoned")
+                            .push((i, shard)),
+                        Err(e) => {
+                            stash(&err, e);
+                            break;
+                        }
+                    }
+                }
+                obs::flush_local();
+            });
+        }
+    });
+    sharded.end_logical_scan();
+    if let Some(e) = err.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let _merge_span = obs::span("engine", "pass.merge");
+    let mut results = results.into_inner().expect("result list poisoned");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    let mut acc = pass.new_shard();
+    for (_, shard) in results {
+        pass.merge(&mut acc, shard);
+    }
+    Ok(pass.finish(acc))
+}
+
+/// The shard-owning backend of [`super::Executor::fold_ordered`]: workers
+/// stream shards into per-shard queues; the calling thread folds them in
+/// manifest order, overlapping every shard's I/O + decode with the fold.
+pub(super) fn fold_ordered_sharded(
+    sharded: &dyn ShardedScan,
+    cfg: &ParallelConfig,
+    f: &mut dyn FnMut(VertexId, &[VertexId]),
+) -> io::Result<()> {
+    let _pass_span = obs::span("engine", "pass.fold_ordered");
+    let shard_count = sharded.shard_count();
+    let workers = cfg.threads.max(1).min(shard_count.max(1));
+    let queue_cap = cfg.queue_blocks.max(1);
+    let queues: Vec<BoundedQueue<RecordBlock>> = (0..shard_count)
+        .map(|_| BoundedQueue::new(queue_cap))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let err: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    sharded.begin_logical_scan();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                obs::name_thread("worker");
+                let _panic_guard = PanicCloser(&queues);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shard_count || err.lock().expect("error slot poisoned").is_some() {
+                        break;
+                    }
+                    let queue = &queues[i];
+                    let _guard = CloseOnDrop(queue);
+                    let io = {
+                        let _decode = obs::span("engine", "worker.decode");
+                        sharded
+                            .shard_scan(i)
+                            .scan_blocks(cfg.block_records.max(1), &mut |block| {
+                                super::handout(queue, block);
+                            })
+                    };
+                    if let Err(e) = io {
+                        stash(&err, e);
+                        // Unblock everyone: the whole fold is failing, so
+                        // truncating sibling streams is fine — the error
+                        // return supersedes whatever `f` saw.
+                        for q in &queues {
+                            q.close();
+                        }
+                        break;
+                    }
+                }
+                obs::flush_local();
+            });
+        }
+        // The calling thread is the consumer: drain the queues in
+        // manifest order so `f` sees exact storage order.
+        let _panic_guard = PanicCloser(&queues);
+        for queue in &queues {
+            while let Some(block) = queue.pop() {
+                for (v, ns) in block.iter() {
+                    f(v, ns);
+                }
+            }
+        }
+    });
+    sharded.end_logical_scan();
+    match err.into_inner().expect("error slot poisoned") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Executor, ParallelConfig};
+    use mis_extmem::{IoStats, ScratchDir};
+    use mis_graph::sharded::{split_adj_file, SplitOptions};
+    use mis_graph::{build_adj_file, AnyAdjFile, CsrGraph, GraphScan, ShardedGraph};
+    use std::sync::Arc;
+
+    fn sharded_fixture(shards: usize) -> (ScratchDir, ShardedGraph, CsrGraph) {
+        let g = mis_gen::plrg::Plrg::with_vertices(300, 2.0)
+            .seed(7)
+            .generate();
+        let dir = ScratchDir::new("engine-sharded").unwrap();
+        let stats = IoStats::shared();
+        let f = build_adj_file(&g, &dir.file("g.adj"), Arc::clone(&stats), 512).unwrap();
+        split_adj_file(
+            &AnyAdjFile::Plain(f),
+            &dir.file("g.shrd"),
+            &SplitOptions {
+                shards,
+                block_size: 512,
+            },
+        )
+        .unwrap();
+        let sharded = ShardedGraph::open_with_block_size(&dir.file("g.shrd"), stats, 512).unwrap();
+        (dir, sharded, g)
+    }
+
+    #[test]
+    fn sharded_fold_ordered_replays_storage_order() {
+        for shards in [2usize, 3, 7] {
+            let (_dir, sharded, _g) = sharded_fixture(shards);
+            let mut seq = Vec::new();
+            Executor::Sequential
+                .fold_ordered(&sharded, &mut |v, _| seq.push(v))
+                .unwrap();
+            for threads in [2usize, 4] {
+                let exec = Executor::Parallel(ParallelConfig {
+                    threads,
+                    block_records: 16,
+                    queue_blocks: 2,
+                    ..ParallelConfig::default()
+                });
+                let mut par = Vec::new();
+                exec.fold_ordered(&sharded, &mut |v, _| par.push(v))
+                    .unwrap();
+                assert_eq!(par, seq, "shards {shards}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_pass_matches_sequential_and_charges_one_scan() {
+        struct SeqPass;
+        impl super::super::ScanPass for SeqPass {
+            type Shard = Vec<u32>;
+            type Output = Vec<u32>;
+            fn new_shard(&self) -> Self::Shard {
+                Vec::new()
+            }
+            fn visit(&self, shard: &mut Self::Shard, v: u32, _ns: &[u32]) {
+                shard.push(v);
+            }
+            fn merge(&self, into: &mut Self::Shard, later: Self::Shard) {
+                into.extend(later);
+            }
+            fn finish(&self, shard: Self::Shard) -> Self::Output {
+                shard
+            }
+        }
+        let (_dir, sharded, _g) = sharded_fixture(4);
+        let seq = Executor::Sequential.run_pass(&sharded, &SeqPass).unwrap();
+        assert_eq!(seq.len(), sharded.num_vertices());
+        let stats = Arc::clone(sharded.stats());
+        for threads in [2usize, 3, 8] {
+            let before = stats.snapshot();
+            let par = Executor::parallel(threads)
+                .run_pass(&sharded, &SeqPass)
+                .unwrap();
+            assert_eq!(par, seq, "threads {threads}");
+            let delta = stats.snapshot().since(&before);
+            assert_eq!(delta.scans_started, 1, "one logical scan at {threads}");
+            assert!(delta.blocks_read > 0);
+        }
+    }
+}

@@ -183,6 +183,27 @@ impl AdjFileWriter {
         Ok(RecordIndex::from_offsets(offsets))
     }
 
+    /// Flushes and validates a **shard member** file (see
+    /// [`crate::sharded`]): exactly the announced (shard-local) record
+    /// count must have been written, but the directed entry total may be
+    /// odd — a shard holds a contiguous record run of a larger graph, so
+    /// edges crossing the cut are recorded on one endpoint only. The
+    /// header's edge field is reconciled to the *directed* entry count
+    /// (the manifest carries the global undirected `|E|`). Returns the
+    /// directed entry count.
+    pub fn finish_shard(self) -> io::Result<u64> {
+        self.check_complete()?;
+        let entries = self.entries;
+        self.writer.finish()?;
+        if entries != self.expected_edges {
+            use std::io::{Seek, SeekFrom};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.seek(SeekFrom::Start(16))? /* magic (8) + |V| (8) */;
+            f.write_all(&entries.to_le_bytes())?;
+        }
+        Ok(entries)
+    }
+
     fn finish_common(self) -> io::Result<u64> {
         if !self.entries.is_multiple_of(2) {
             return Err(io::Error::new(
@@ -216,6 +237,12 @@ pub struct AdjFile {
     num_edges: u64,
     block_size: usize,
     stats: Arc<IoStats>,
+    /// Upper bound the record-degree sanity checks validate against.
+    /// Equal to `num_vertices` for a standalone file; a shard member of a
+    /// larger graph stores only its own record count in the header while
+    /// degrees range over the *global* vertex universe, so
+    /// [`AdjFile::open_shard`] widens the cap to the manifest's `|V|`.
+    degree_cap: u64,
 }
 
 impl AdjFile {
@@ -248,7 +275,22 @@ impl AdjFile {
             num_edges,
             block_size,
             stats,
+            degree_cap: num_vertices,
         })
+    }
+
+    /// Opens `path` as a shard member of a graph with `universe` vertices
+    /// in total: record degrees are validated against the global vertex
+    /// count instead of the shard's own (smaller) record count.
+    pub fn open_shard(
+        path: &Path,
+        stats: Arc<IoStats>,
+        block_size: usize,
+        universe: u64,
+    ) -> io::Result<Self> {
+        let mut file = Self::open_with_block_size(path, stats, block_size)?;
+        file.degree_cap = file.degree_cap.max(universe);
+        Ok(file)
     }
 
     /// The file path.
@@ -355,7 +397,7 @@ impl RawScan for AdjFile {
             if !chunk.fill_at_least(RECORD_HDR)? {
                 return Err(truncated("adjacency record"));
             }
-            let (vertex, degree) = parse_plain_header(chunk.available(), self.num_vertices)?;
+            let (vertex, degree) = parse_plain_header(chunk.available(), self.degree_cap)?;
             let total = RECORD_HDR + 4 * degree;
             if total <= budget {
                 if records > 0 && (records >= target || unit.len() + total > budget) {
@@ -462,7 +504,7 @@ impl RawScan for AdjFile {
                     if buf.len() - pos < RECORD_HDR {
                         return Err(truncated("raw unit"));
                     }
-                    let (vertex, degree) = parse_plain_header(&buf[pos..], self.num_vertices)?;
+                    let (vertex, degree) = parse_plain_header(&buf[pos..], self.degree_cap)?;
                     pos += RECORD_HDR;
                     if buf.len() - pos < 4 * degree {
                         return Err(truncated("raw unit"));
@@ -493,7 +535,7 @@ impl RawScan for AdjFile {
                     if buf.len() < RECORD_HDR {
                         return Err(truncated("raw piece"));
                     }
-                    let (v, degree) = parse_plain_header(buf, self.num_vertices)?;
+                    let (v, degree) = parse_plain_header(buf, self.degree_cap)?;
                     if v != vertex {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,

@@ -17,16 +17,20 @@ use mis_extmem::{IoStats, DEFAULT_BLOCK_SIZE};
 
 use crate::adjfile::AdjFile;
 use crate::compressed::CompressedAdjFile;
-use crate::scan::{GraphScan, RawScan, RecordBlock};
+use crate::scan::{GraphScan, RawScan, RecordBlock, ShardedScan};
+use crate::sharded::ShardedGraph;
 use crate::VertexId;
 
-/// Either flavour of on-disk adjacency file, behind one scan interface.
+/// Any flavour of on-disk adjacency storage, behind one scan interface.
 #[derive(Debug, Clone)]
 pub enum AnyAdjFile {
     /// A plain fixed-width `MISADJ01` file.
     Plain(AdjFile),
     /// A gap-compressed `MISADJC1` file.
     Compressed(CompressedAdjFile),
+    /// A `MISSHRD1` sharded store (manifest + shard files). Shared so
+    /// the wrapper stays cheaply cloneable like the single-file formats.
+    Sharded(Arc<ShardedGraph>),
 }
 
 impl AnyAdjFile {
@@ -52,6 +56,8 @@ impl AnyAdjFile {
             }
             b"MISADJC1" => CompressedAdjFile::open_with_block_size(path, stats, block_size)
                 .map(AnyAdjFile::Compressed),
+            b"MISSHRD1" => ShardedGraph::open_with_block_size(path, stats, block_size)
+                .map(|g| AnyAdjFile::Sharded(Arc::new(g))),
             _ => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("{}: not an adjacency file", path.display()),
@@ -59,11 +65,12 @@ impl AnyAdjFile {
         }
     }
 
-    /// The file path.
+    /// The file path (the manifest path for sharded stores).
     pub fn path(&self) -> &Path {
         match self {
             AnyAdjFile::Plain(f) => f.path(),
             AnyAdjFile::Compressed(f) => f.path(),
+            AnyAdjFile::Sharded(g) => g.path(),
         }
     }
 
@@ -72,14 +79,17 @@ impl AnyAdjFile {
         match self {
             AnyAdjFile::Plain(f) => f.stats(),
             AnyAdjFile::Compressed(f) => f.stats(),
+            AnyAdjFile::Sharded(g) => g.stats(),
         }
     }
 
-    /// File size on disk in bytes.
+    /// Payload size on disk in bytes (the summed shard files for sharded
+    /// stores, excluding the manifest).
     pub fn disk_bytes(&self) -> io::Result<u64> {
         match self {
             AnyAdjFile::Plain(f) => f.disk_bytes(),
             AnyAdjFile::Compressed(f) => f.disk_bytes(),
+            AnyAdjFile::Sharded(g) => g.disk_bytes(),
         }
     }
 
@@ -88,6 +98,7 @@ impl AnyAdjFile {
         match self {
             AnyAdjFile::Plain(f) => f,
             AnyAdjFile::Compressed(f) => f,
+            AnyAdjFile::Sharded(g) => &**g,
         }
     }
 }
@@ -115,6 +126,10 @@ impl GraphScan for AnyAdjFile {
 
     fn raw_scan(&self) -> Option<&dyn RawScan> {
         self.as_scan().raw_scan()
+    }
+
+    fn sharded(&self) -> Option<&dyn ShardedScan> {
+        self.as_scan().sharded()
     }
 }
 

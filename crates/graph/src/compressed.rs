@@ -98,7 +98,7 @@ impl CompressedRecordIndex {
         let mut chunk = file.validated_reader()?;
         for _ in 0..n {
             let start = chunk.position();
-            let framed = frame_record(&mut chunk, file.num_vertices)?;
+            let framed = frame_record(&mut chunk, file.degree_cap)?;
             let vertex = framed.vertex;
             chunk.consume(framed.total);
             let slot = offsets.get_mut(vertex as usize).ok_or_else(|| {
@@ -394,6 +394,26 @@ impl CompressedAdjWriter {
         Ok(CompressedRecordIndex::from_parts(offsets, lens))
     }
 
+    /// Flushes and validates a **shard member** file (see
+    /// [`crate::sharded`]): exactly the announced (shard-local) record
+    /// count must have been written, but the directed entry total may be
+    /// odd — a shard holds a contiguous record run of a larger graph, so
+    /// edges crossing the cut are recorded on one endpoint only. The
+    /// header's edge field is reconciled to the *directed* entry count
+    /// (the manifest carries the global undirected `|E|`). Returns the
+    /// directed entry count.
+    pub fn finish_shard(self) -> io::Result<u64> {
+        self.check_complete()?;
+        let entries = self.entries;
+        self.writer.finish()?;
+        if entries != self.expected_edges {
+            let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.seek(SeekFrom::Start(self.edges_field_offset))?;
+            f.write_all(&encode_varint_padded(entries))?;
+        }
+        Ok(entries)
+    }
+
     fn finish_common(self) -> io::Result<u64> {
         self.check_complete()?;
         if !self.entries.is_multiple_of(2) {
@@ -426,6 +446,13 @@ pub struct CompressedAdjFile {
     num_edges: u64,
     block_size: usize,
     stats: Arc<IoStats>,
+    /// Upper bound the record-degree sanity checks validate against.
+    /// Equal to `num_vertices` for a standalone file; a shard member of a
+    /// larger graph stores only its own record count in the header while
+    /// degrees range over the *global* vertex universe, so
+    /// [`CompressedAdjFile::open_shard`] widens the cap to the manifest's
+    /// `|V|`.
+    degree_cap: u64,
 }
 
 impl CompressedAdjFile {
@@ -458,7 +485,45 @@ impl CompressedAdjFile {
             num_edges,
             block_size,
             stats,
+            degree_cap: num_vertices,
         })
+    }
+
+    /// Opens `path` as a shard member of a graph with `universe` vertices
+    /// in total: record degrees are validated against the global vertex
+    /// count instead of the shard's own (smaller) record count.
+    pub fn open_shard(
+        path: &Path,
+        stats: Arc<IoStats>,
+        block_size: usize,
+        universe: u64,
+    ) -> io::Result<Self> {
+        let mut file = Self::open_with_block_size(path, stats, block_size)?;
+        file.degree_cap = file.degree_cap.max(universe);
+        Ok(file)
+    }
+
+    /// Builds a record index keyed by **record rank** (storage order)
+    /// instead of vertex id, with one accounted scan. Shard members of a
+    /// sharded store carry global vertex ids in records while the index
+    /// spans only the shard's own records, so the vertex-keyed
+    /// [`CompressedRecordIndex::build`] cannot index them; rank `r` of an
+    /// id-ordered shard is its base vertex plus `r`.
+    pub(crate) fn rank_index(&self) -> io::Result<CompressedRecordIndex> {
+        let _span = mis_obs::span("graph", "index.build");
+        self.stats.record_scan();
+        let n = self.num_vertices as usize;
+        let mut offsets = Vec::with_capacity(n);
+        let mut lens = Vec::with_capacity(n);
+        let mut chunk = self.validated_reader()?;
+        for _ in 0..n {
+            let start = chunk.position();
+            let framed = frame_record(&mut chunk, self.degree_cap)?;
+            chunk.consume(framed.total);
+            offsets.push(start);
+            lens.push((chunk.position() - start) as u32);
+        }
+        Ok(CompressedRecordIndex::from_parts(offsets, lens))
     }
 
     /// File size on disk in bytes.
@@ -534,7 +599,7 @@ impl GraphScan for CompressedAdjFile {
         let mut chunk = self.validated_reader()?;
         let mut neighbors: Vec<VertexId> = Vec::new();
         for _ in 0..self.num_vertices {
-            let framed = frame_record(&mut chunk, self.num_vertices)?;
+            let framed = frame_record(&mut chunk, self.degree_cap)?;
             neighbors.clear();
             decode_ascending_gaps_slice(
                 &chunk.available()[framed.hdr..framed.total],
@@ -559,7 +624,7 @@ impl GraphScan for CompressedAdjFile {
         let nbr_cap = target.saturating_mul(16);
         let mut block = RecordBlock::with_seq(0);
         for _ in 0..self.num_vertices {
-            let framed = frame_record(&mut chunk, self.num_vertices)?;
+            let framed = frame_record(&mut chunk, self.degree_cap)?;
             block.push_with(framed.vertex, |dst| {
                 decode_ascending_gaps_slice(
                     &chunk.available()[framed.hdr..framed.total],
@@ -612,7 +677,7 @@ impl RawScan for CompressedAdjFile {
         let mut unit: Vec<u8> = Vec::new();
         let mut records = 0usize;
         for _ in 0..self.num_vertices {
-            let framed = frame_record(&mut chunk, self.num_vertices)?;
+            let framed = frame_record(&mut chunk, self.degree_cap)?;
             if framed.total <= budget {
                 if records > 0 && (records >= target || unit.len() + framed.total > budget) {
                     let u = RawUnit::new(
@@ -701,7 +766,7 @@ impl RawScan for CompressedAdjFile {
                 let mut pos = 0usize;
                 for _ in 0..records {
                     let (vertex, degree, hdr) =
-                        parse_record_header(&buf[pos..], self.num_vertices).map_err(bad)?;
+                        parse_record_header(&buf[pos..], self.degree_cap).map_err(bad)?;
                     pos += hdr;
                     block.push_with(vertex, |dst| {
                         let n =
@@ -728,7 +793,7 @@ impl RawScan for CompressedAdjFile {
                 let mut values: Vec<VertexId> = Vec::new();
                 let (degree, consumed, relative) = if first {
                     let (v, degree, hdr) =
-                        parse_record_header(buf, self.num_vertices).map_err(bad)?;
+                        parse_record_header(buf, self.degree_cap).map_err(bad)?;
                     if v != vertex {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,

@@ -26,6 +26,10 @@
 //!   and [`RandomAccessGraph`], adjacency reads served through
 //!   `mis_extmem`'s buffer-pool page cache for the swap algorithms' paged
 //!   candidate-verification path;
+//! * [`sharded`] — the `MISSHRD1` manifest-backed sharded layout: one
+//!   adjacency file split into degree-balanced vertex-range shards, each
+//!   an independent sequential stream for the engine's shard-owning
+//!   parallel executor;
 //! * [`edgelist`] — text edge-list parsing (SNAP-style `u v` lines);
 //! * [`hash`] — a small Fx-style hasher for hot `u32`-keyed maps.
 
@@ -42,6 +46,7 @@ pub mod edgelist;
 pub mod hash;
 pub mod raccess;
 pub mod scan;
+pub mod sharded;
 
 pub use adjfile::AdjFile;
 pub use anyfile::AnyAdjFile;
@@ -57,7 +62,10 @@ pub use delta::DeltaGraph;
 pub use raccess::{NeighborAccess, RandomAccessGraph, RecordIndex};
 pub use scan::{
     DecodedPiece, DecodedUnit, GraphScan, OrderedCsr, PieceAssembler, RawScan, RawScanLimits,
-    RawUnit, RawUnitKind, RecordBlock,
+    RawUnit, RawUnitKind, RecordBlock, ShardedScan,
+};
+pub use sharded::{
+    split_adj_file, ShardManifest, ShardMeta, ShardedGraph, ShardedRandomAccess, SplitOptions,
 };
 
 /// Vertex identifier. Graphs with up to `u32::MAX` vertices are supported;

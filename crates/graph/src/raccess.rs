@@ -141,6 +141,15 @@ pub struct RandomAccessGraph {
     num_vertices: usize,
     num_edges: u64,
     config: PagerConfig,
+    /// First global vertex id served by this graph. Non-zero only for
+    /// shard members of a [`crate::sharded::ShardedGraph`], whose records
+    /// carry global ids while the index spans only the shard's own
+    /// records (`global id - vertex_base` = local index).
+    vertex_base: VertexId,
+    /// Added to every byte offset by [`NeighborAccess::record_rank`] so
+    /// ranks stay strictly monotone across a whole sharded store (the
+    /// caller passes the sum of the preceding shards' file sizes).
+    rank_base: u64,
 }
 
 impl std::fmt::Debug for RandomAccessGraph {
@@ -244,7 +253,21 @@ impl RandomAccessGraph {
             num_vertices,
             num_edges,
             config,
+            vertex_base: 0,
+            rank_base: 0,
         })
+    }
+
+    /// Re-bases this graph as one shard of a larger store: it serves the
+    /// `num_vertices()` consecutive global ids starting at `vertex_base`
+    /// (the shard's records must be id-ordered, so local index =
+    /// `global id - vertex_base`), and its [`NeighborAccess::record_rank`]
+    /// values are offset by `rank_base` to stay strictly monotone across
+    /// the shards in manifest order.
+    pub fn with_shard_base(mut self, vertex_base: VertexId, rank_base: u64) -> Self {
+        self.vertex_base = vertex_base;
+        self.rank_base = rank_base;
+        self
     }
 
     /// Number of vertices.
@@ -275,21 +298,28 @@ impl RandomAccessGraph {
     }
 
     fn with_neighbors_impl(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) -> io::Result<()> {
-        if v as usize >= self.num_vertices {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("vertex {v} out of range ({} vertices)", self.num_vertices),
-            ));
-        }
-        let offset = self.index.offset(v);
+        let local = match v.checked_sub(self.vertex_base) {
+            Some(l) if (l as usize) < self.num_vertices => l,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "vertex {v} out of range ({} vertices from {})",
+                        self.num_vertices, self.vertex_base
+                    ),
+                ));
+            }
+        };
+        let offset = self.index.offset(local);
         // Fill the reusable neighbour buffer, then release the borrow so
-        // the callback may recursively read through this graph.
+        // the callback may recursively read through this graph. Records
+        // carry global ids, so fetch validation compares against `v`.
         let nbrs = {
             let state = &mut *self.state.borrow_mut();
             match &self.codec {
                 Codec::Plain => fetch_plain(state, offset, v)?,
                 Codec::Compressed { lens } => {
-                    fetch_compressed(state, offset, lens[v as usize] as usize, v)?
+                    fetch_compressed(state, offset, lens[local as usize] as usize, v)?
                 }
             }
         };
@@ -404,8 +434,9 @@ impl NeighborAccess for RandomAccessGraph {
 
     fn record_rank(&self, v: VertexId) -> u64 {
         // Records are contiguous, so the byte offset is itself strictly
-        // monotone in storage order.
-        self.index.offset(v)
+        // monotone in storage order; `rank_base` extends that across the
+        // shards of a partitioned store.
+        self.rank_base + self.index.offset(v - self.vertex_base)
     }
 
     fn resident_bytes(&self) -> u64 {

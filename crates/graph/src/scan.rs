@@ -83,6 +83,49 @@ pub trait GraphScan: Sync {
     fn raw_scan(&self) -> Option<&dyn RawScan> {
         None
     }
+
+    /// The shard-level view of this storage, if it is partitioned. A
+    /// sharded store returns `Some`, letting the execution engine give
+    /// each worker thread whole shards to scan independently — no shared
+    /// reader thread, no hand-out queue. Monolithic representations
+    /// return `None`.
+    fn sharded(&self) -> Option<&dyn ShardedScan> {
+        None
+    }
+}
+
+/// The shard-level access interface of a partitioned graph store.
+///
+/// Shards partition the record sequence: concatenating the shards' scans
+/// in index order (`0, 1, …, shard_count() - 1`) replays exactly the
+/// record sequence of [`GraphScan::scan`] on the whole store. Each shard
+/// is itself a full [`GraphScan`] (with its own [`RawScan`] where the
+/// underlying format has one), so workers can own and stream shards
+/// independently and concurrently.
+///
+/// I/O accounting: a *logical* scan of the whole store is one scan no
+/// matter how many shards served it. Callers scanning shards directly
+/// must bracket the pass with [`ShardedScan::begin_logical_scan`] /
+/// [`ShardedScan::end_logical_scan`] so the store can charge exactly one
+/// scan and fold the per-shard block counters into the global
+/// [`mis_extmem::IoStats`] without double-counting.
+pub trait ShardedScan: Sync {
+    /// Number of shards (`≥ 1`).
+    fn shard_count(&self) -> usize;
+
+    /// The `i`-th shard as a standalone scannable graph. Records carry
+    /// their **global** vertex ids; `num_vertices()` of the shard is its
+    /// local record count.
+    fn shard_scan(&self, i: usize) -> &dyn GraphScan;
+
+    /// Marks the start of one logical whole-store scan (charges one scan
+    /// to the global stats).
+    fn begin_logical_scan(&self);
+
+    /// Marks the end of one logical whole-store scan: folds each shard's
+    /// I/O counters accumulated since the last fold into the global
+    /// stats (minus the shards' own scan counts).
+    fn end_logical_scan(&self);
 }
 
 /// Framing limits for [`RawScan::scan_raw`].

@@ -10,8 +10,11 @@
 //! mis convert  <edges.txt> <out.adj>     text edge list → adjacency file
 //! mis sort     <in.adj> <out>            degree-sort (Algorithm 1 preprocessing)
 //!              [--compress]               emit gap-compressed MISADJC1
+//!              [--shards N]               emit a MISSHRD1 sharded store
 //! mis compress <in> <out.cadj>           gap-compress (WebGraph-style)
-//! mis stats    <graph>                   size / degree summary
+//! mis shard    split <in> <out.shrd> [--shards N]   split into vertex-range shards
+//!              info <manifest>                      inspect a MISSHRD1 manifest
+//! mis stats    <graph>                   size / degree summary (incl. shard table)
 //! mis bound    <graph>                   Algorithm 5 + matching upper bounds
 //! mis run      <graph> [--algo A] [--rounds N] [--quiet] [--threads N]
 //!              [--cache-mb N] [--policy clock|lru] [--paged-threshold F]
@@ -69,10 +72,17 @@
 //! are skipped automatically when the two environment fingerprints
 //! differ.
 //!
-//! `<graph>` and `<base>` accept plain (`MISADJ01`) and gap-compressed
-//! (`MISADJC1`) adjacency files everywhere, detected by magic bytes —
-//! including `mis run --cache-mb`, which builds the matching
-//! variable-width record index for compressed files. Every run prints IS
+//! `<graph>` accepts plain (`MISADJ01`), gap-compressed (`MISADJC1`)
+//! and sharded (`MISSHRD1` manifest) stores everywhere it appears,
+//! detected by magic bytes — including `mis run --cache-mb`, which
+//! builds the matching record index per format (per-shard pagers
+//! sharing the one cache budget for sharded stores). `gen`, `convert`
+//! and `sort` take `--shards N` to emit a sharded store directly; with
+//! a sharded graph and `--threads N`, the engine runs its shard-owning
+//! backend (each worker streams its own shards; no reader thread).
+//! `<base>` of `mis update` takes plain and compressed files (the
+//! durable-update log rewrites its base, which sharded stores do not
+//! support). Every run prints IS
 //! size, scan counts, block transfers, cache hit rates (when caching)
 //! and the modelled memory, and verifies the result before reporting
 //! success.
@@ -93,7 +103,7 @@ use semi_mis::algo::peeling::peel_and_solve;
 use semi_mis::extmem::{SortConfig, DEFAULT_BLOCK_SIZE};
 use semi_mis::graph::{
     build_adj_file, compress_adj, degree_sort_adj_file, degree_sort_compressed_adj_file, edgelist,
-    AnyAdjFile,
+    split_adj_file, AnyAdjFile, ShardManifest, SplitOptions,
 };
 use semi_mis::prelude::*;
 use semi_mis::update::CompactFormat;
@@ -113,10 +123,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "
 usage: mis <command> ... [--block-size BYTES]
-  gen <plrg|dataset|er|ba|rmat> [options] [--compress] <out.adj>
-  convert <edges.txt> <out.adj>
-  sort <in.adj> <out> [--compress]
+  gen <plrg|dataset|er|ba|rmat> [options] [--compress] [--shards N] <out.adj>
+  convert <edges.txt> <out.adj> [--compress] [--shards N]
+  sort <in.adj> <out> [--compress] [--shards N]
   compress <in> <out.cadj>
+  shard split <in> <out.shrd> [--shards N]
+        info <manifest>
   stats <graph> [--threads N]
   bound <graph> [--threads N]
   run <graph> [--algo greedy|baseline|onek|twok|peel|tfp|dynamic] [--rounds N]
@@ -146,6 +158,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "convert" => cmd_convert(rest),
         "sort" => cmd_sort(rest),
         "compress" => cmd_compress(rest),
+        "shard" => cmd_shard(rest),
         "stats" => cmd_stats(rest),
         "bound" => cmd_bound(rest),
         "run" => cmd_run(rest),
@@ -507,8 +520,35 @@ fn write_graph(
     out: &Path,
     block_size: usize,
     compress: bool,
+    shards: usize,
 ) -> Result<(), String> {
     let stats = IoStats::shared();
+    if shards > 1 {
+        // Sharded output: write the single file into scratch, then split
+        // it into a `MISSHRD1` manifest + shard files at `out`.
+        let scratch = ScratchDir::new("mis-cli-shard").map_err(|e| e.to_string())?;
+        let tmp = scratch.file(if compress { "g.cadj" } else { "g.adj" });
+        let file = if compress {
+            AnyAdjFile::Compressed(
+                compress_adj(graph, &tmp, stats, block_size).map_err(|e| e.to_string())?,
+            )
+        } else {
+            AnyAdjFile::Plain(
+                build_adj_file(graph, &tmp, stats, block_size).map_err(|e| e.to_string())?,
+            )
+        };
+        let manifest = split_adj_file(&file, out, &SplitOptions { shards, block_size })
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {}{}: {} vertices, {} edges in {} shards (block size {block_size} B)",
+            out.display(),
+            if compress { " (gap-compressed)" } else { "" },
+            graph.num_vertices(),
+            graph.num_edges(),
+            manifest.shards.len()
+        );
+        return Ok(());
+    }
     if compress {
         compress_adj(graph, out, stats, block_size).map_err(|e| e.to_string())?;
     } else {
@@ -522,6 +562,87 @@ fn write_graph(
         graph.num_edges()
     );
     Ok(())
+}
+
+/// Parses `--shards N` (default 1 = unpartitioned).
+fn opt_shards(options: &[(String, String)]) -> Result<usize, String> {
+    let shards: usize = opt_parse(options, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(shards)
+}
+
+/// `mis shard <split|info>`: split an adjacency file into a `MISSHRD1`
+/// sharded store, or inspect a manifest's shard table.
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    let [action, rest @ ..] = pos.as_slice() else {
+        return Err("shard needs: split <in> <out.shrd> --shards N | info <manifest>".into());
+    };
+    match action.as_str() {
+        "split" => {
+            let [input, out] = rest else {
+                return Err("shard split needs: <in> <out.shrd>".into());
+            };
+            let block_size = opt_block_size(&opts)?;
+            let shards = opt_shards(&opts)?;
+            let stats = IoStats::shared();
+            let file = open_any(Path::new(input), Arc::clone(&stats), block_size)?;
+            if matches!(file, AnyAdjFile::Sharded(_)) {
+                return Err(format!("{input}: already a sharded store"));
+            }
+            let start = Instant::now();
+            let manifest =
+                split_adj_file(&file, Path::new(out), &SplitOptions { shards, block_size })
+                    .map_err(|e| e.to_string())?;
+            println!(
+                "split {input} -> {out}: {} shards, {} vertices, {} edges in {:.1}s ({})",
+                manifest.shards.len(),
+                manifest.num_vertices,
+                manifest.num_edges,
+                start.elapsed().as_secs_f64(),
+                stats.snapshot()
+            );
+            Ok(())
+        }
+        "info" => {
+            let [input] = rest else {
+                return Err("shard info needs: <manifest>".into());
+            };
+            let manifest = ShardManifest::read(Path::new(input)).map_err(|e| e.to_string())?;
+            println!(
+                "{input} (MISSHRD1, {} shards):",
+                if manifest.compressed {
+                    "compressed"
+                } else {
+                    "plain"
+                }
+            );
+            println!("  |V| = {}", manifest.num_vertices);
+            println!("  |E| = {}", manifest.num_edges);
+            println!("  id-ordered = {}", manifest.id_ordered);
+            println!("  shards = {}", manifest.shards.len());
+            println!("  total shard bytes = {}", manifest.total_bytes());
+            print_shard_table(&manifest);
+            Ok(())
+        }
+        other => Err(format!("unknown shard action `{other}`")),
+    }
+}
+
+/// Prints the per-shard vertex ranges and sizes of a manifest.
+fn print_shard_table(manifest: &ShardManifest) {
+    for (i, s) in manifest.shards.iter().enumerate() {
+        if s.records == 0 {
+            println!("    shard {i}: empty ({})", s.name);
+        } else {
+            println!(
+                "    shard {i}: vertices {}..={}, {} records, {} entries, {} B ({})",
+                s.vertex_lo, s.vertex_hi, s.records, s.entries, s.bytes, s.name
+            );
+        }
+    }
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -568,6 +689,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         &out,
         opt_block_size(&opts)?,
         opt(&opts, "compress").is_some(),
+        opt_shards(&opts)?,
     )
 }
 
@@ -583,6 +705,7 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         Path::new(out),
         opt_block_size(&opts)?,
         opt(&opts, "compress").is_some(),
+        opt_shards(&opts)?,
     )
 }
 
@@ -602,7 +725,32 @@ fn cmd_sort(args: &[String]) -> Result<(), String> {
         block_size,
         ..SortConfig::default()
     };
-    if compress {
+    let shards = opt_shards(&opts)?;
+    if shards > 1 {
+        // Degree-sort into scratch, then split into the sharded store.
+        let tmp = scratch.file(if compress {
+            "sorted.cadj"
+        } else {
+            "sorted.adj"
+        });
+        let sorted = if compress {
+            AnyAdjFile::Compressed(
+                degree_sort_compressed_adj_file(&file, &tmp, &sort_cfg, &scratch)
+                    .map_err(|e| e.to_string())?,
+            )
+        } else {
+            AnyAdjFile::Plain(
+                degree_sort_adj_file(&file, &tmp, &sort_cfg, &scratch)
+                    .map_err(|e| e.to_string())?,
+            )
+        };
+        split_adj_file(
+            &sorted,
+            Path::new(out),
+            &SplitOptions { shards, block_size },
+        )
+        .map_err(|e| e.to_string())?;
+    } else if compress {
         degree_sort_compressed_adj_file(&file, Path::new(out), &sort_cfg, &scratch)
             .map_err(|e| e.to_string())?;
     } else {
@@ -610,10 +758,15 @@ fn cmd_sort(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     println!(
-        "degree-sorted {} -> {}{} in {:.1}s, block size {} B ({})",
+        "degree-sorted {} -> {}{}{} in {:.1}s, block size {} B ({})",
         input,
         out,
         if compress { " (gap-compressed)" } else { "" },
+        if shards > 1 {
+            format!(" ({shards} shards)")
+        } else {
+            String::new()
+        },
         start.elapsed().as_secs_f64(),
         block_size,
         stats.snapshot()
@@ -676,6 +829,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  max degree = {}", degrees.max_degree);
     println!("  isolated vertices = {}", degrees.isolated);
     println!("  pendant vertices  = {}", degrees.pendant);
+    if let AnyAdjFile::Sharded(g) = &file {
+        let manifest = g.manifest();
+        println!("  shards = {}", manifest.shards.len());
+        print_shard_table(manifest);
+    }
     // --check-model: the degree pass is exactly one sequential scan, so
     // its I/O delta (header reads excluded via the pre-scan snapshot)
     // must conform to the paper's `⌈bytes/B⌉` blocks-per-scan model.
@@ -687,6 +845,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             file_bytes: file.disk_bytes().map_err(|e| e.to_string())?,
             block_size: block_size as u64,
             storage: scan.storage().to_string(),
+            shard_bytes: match &file {
+                AnyAdjFile::Sharded(g) => g.manifest().shard_bytes(),
+                _ => Vec::new(),
+            },
         };
         let scanned = stats.snapshot().since(&before_scan);
         let v = model.check(
@@ -828,7 +990,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     // --cache-mb: build the buffer-pool access path for the swap rounds.
     let mut pager_config = None;
-    let raccess: Option<RandomAccessGraph> = if cache_mb > 0 {
+    let raccess: Option<Box<dyn NeighborAccess>> = if cache_mb > 0 {
         if !matches!(algo, "onek" | "twok") {
             return Err("--cache-mb only applies to --algo onek|twok".into());
         }
@@ -837,16 +999,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let pc = PagerConfig::with_capacity_bytes(cache_mb << 20, block_size, policy);
         pager_config = Some(pc);
         // The index flavour follows the record codec: fixed-width
-        // offsets for plain files, offset+length for compressed ones.
-        let ra = match &file {
-            AnyAdjFile::Plain(adj) => RandomAccessGraph::open(adj, pc),
-            AnyAdjFile::Compressed(cadj) => RandomAccessGraph::open_compressed(cadj, pc),
+        // offsets for plain files, offset+length for compressed ones;
+        // sharded stores split the frame budget across per-shard pagers.
+        let ra: Box<dyn NeighborAccess> = match &file {
+            AnyAdjFile::Plain(adj) => {
+                Box::new(RandomAccessGraph::open(adj, pc).map_err(|e| e.to_string())?)
+            }
+            AnyAdjFile::Compressed(cadj) => {
+                Box::new(RandomAccessGraph::open_compressed(cadj, pc).map_err(|e| e.to_string())?)
+            }
+            AnyAdjFile::Sharded(g) => {
+                Box::new(g.open_random_access(pc).map_err(|e| e.to_string())?)
+            }
         };
-        Some(ra.map_err(|e| e.to_string())?)
+        Some(ra)
     } else {
         None
     };
-    let access = raccess.as_ref().map(|ra| ra as &dyn NeighborAccess);
+    let access = raccess.as_deref();
     drop(open_span);
 
     let scan = file.as_scan();

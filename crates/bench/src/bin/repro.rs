@@ -4,7 +4,7 @@
 //! repro <experiment>
 //!   table2 table4 table5 table6 table7 table8 table9
 //!   fig6 fig8 fig9 fig10
-//!   io pager parallel shard churn cascade ablation
+//!   io pager parallel shard churn serve cascade ablation
 //!   all        # everything (dataset suite computed once)
 //! ```
 //!
@@ -40,6 +40,7 @@ fn main() {
         "parallel" => parallel::run_args(&args[1..]),
         "shard" => shard::run_args(&args[1..]),
         "churn" => churn::run(),
+        "serve" => serve::run(),
         "cascade" => cascade::run(),
         "ablation" => ablation::run(),
         "bounds" => extensions::bounds(),
@@ -80,6 +81,8 @@ fn main() {
             println!();
             churn::run();
             println!();
+            serve::run();
+            println!();
             cascade::run();
             println!();
             ablation::run();
@@ -92,7 +95,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|parallel|shard|churn|cascade|ablation|bounds|peeling|compress|all>"
+                "usage: repro <table2|table4|table5|table6|table7|table8|table9|fig6|fig8|fig9|fig10|io|pager|parallel|shard|churn|serve|cascade|ablation|bounds|peeling|compress|all>"
             );
             std::process::exit(2);
         }

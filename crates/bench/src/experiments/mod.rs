@@ -16,6 +16,7 @@ pub mod fig9;
 pub mod io;
 pub mod pager;
 pub mod parallel;
+pub mod serve;
 pub mod shard;
 pub mod sweep;
 pub mod table2;

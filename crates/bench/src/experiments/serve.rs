@@ -1,0 +1,475 @@
+//! Serving experiment: concurrent readers during incremental ingest.
+//!
+//! A seeded churn stream is driven through a [`mis_update::ServeEngine`]
+//! epoch by epoch while reader threads hammer membership and
+//! neighborhood queries the whole time — including while the WAL rolls
+//! into sealed segments and partial compactions merge them. The
+//! experiment checks the properties `mis serve` promises:
+//!
+//! * **no stop-the-world** — readers answer (and are counted) during
+//!   every flush, roll and compaction;
+//! * **snapshot isolation** — a view pinned at epoch 1 answers
+//!   identically, and still proves maximal on its own pinned graph,
+//!   after every later epoch, roll and compaction has run beneath it;
+//! * **offline equivalence** — at every epoch the served set is
+//!   *identical* to an offline `UpdateStore::apply` replay of the same
+//!   stream (op-driven and scan-driven repair converge), and every
+//!   epoch's proof scan certifies maximality.
+//!
+//! Results — per-kind request latency quantiles, the sustained update
+//! rate, roll/compaction counts — go to `BENCH_serve.json` (override
+//! with `BENCH_SERVE_OUT`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mis_core::{is_maximal_independent_set, RepairConfig};
+use mis_extmem::{IoStats, ScratchDir, SortConfig};
+use mis_gen::churn::{churn_stream, ChurnKind};
+use mis_graph::{build_adj_file, degree_sort_adj_file, GraphScan, VertexId};
+use mis_obs::{CostModel, LedgerEntry, ModelVerdict, RequestSummary};
+use mis_update::{Checkpoint, EdgeOp, ServeConfig, ServeEngine, UpdateStore};
+
+use crate::harness;
+
+/// Default output path of the machine-readable results.
+pub const DEFAULT_JSON_PATH: &str = "BENCH_serve.json";
+
+/// Blocks-read tolerance of the offline-replay conformance check (the
+/// same slack as `repro churn`: checkpoint and WAL replay I/O ride
+/// between the accounted base-file scans).
+const SERVE_MODEL_TOLERANCE: f64 = 0.25;
+
+/// Everything the experiment measured.
+#[derive(Debug)]
+pub struct ServeResult {
+    /// Epochs committed through the engine.
+    pub epochs: u64,
+    /// Total operations across all epochs.
+    pub total_ops: usize,
+    /// WAL → segment rolls during ingest.
+    pub rolls: u64,
+    /// Partial segment compactions during ingest.
+    pub compactions: u64,
+    /// |IS| after the final epoch.
+    pub final_is: u64,
+    /// Whether every epoch's proof scan certified maximality.
+    pub all_proved: bool,
+    /// Whether the served set matched the offline replay at every epoch.
+    pub replay_matches: bool,
+    /// Whether the epoch-1 pinned view stayed byte-identical (and
+    /// maximal on its own pinned graph) through all later epochs.
+    pub pinned_stable: bool,
+    /// Reader-thread requests answered while ingest ran.
+    pub reader_requests: u64,
+    /// Operations committed per second of flush wall time.
+    pub update_rate: f64,
+    /// Per-kind request latency summaries from the engine.
+    pub requests: Vec<(&'static str, RequestSummary)>,
+    /// Flush wall time across all epochs, milliseconds.
+    pub ingest_wall_ms: f64,
+    /// Cost-model verdict of the offline replay side.
+    pub model: Option<ModelVerdict>,
+}
+
+/// Runs the experiment on a `P(α,β)` graph with `n` vertices.
+pub fn run_serve(n: u64, epochs: usize, ops_per_epoch: usize, block_size: usize) -> ServeResult {
+    let graph = mis_gen::Plrg::with_vertices(n, 2.0).seed(42).generate();
+    let stream = churn_stream(&graph, epochs * ops_per_epoch, 0.3, 7);
+    assert_eq!(stream.len(), epochs * ops_per_epoch, "stream fell short");
+    let batches: Vec<Vec<EdgeOp>> = stream
+        .chunks(ops_per_epoch)
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|op| match op.kind {
+                    ChurnKind::Insert => EdgeOp::Insert(op.u, op.v),
+                    ChurnKind::Delete => EdgeOp::Delete(op.u, op.v),
+                })
+                .collect()
+        })
+        .collect();
+
+    let scratch = ScratchDir::new("repro-serve").expect("scratch dir");
+    let build_stats = IoStats::shared();
+    let unsorted = build_adj_file(
+        &graph,
+        &scratch.file("base.adj"),
+        Arc::clone(&build_stats),
+        block_size,
+    )
+    .expect("build adj file");
+    let sorted = degree_sort_adj_file(
+        &unsorted,
+        &scratch.file("base.sorted.adj"),
+        &SortConfig {
+            block_size,
+            ..SortConfig::default()
+        },
+        &scratch,
+    )
+    .expect("degree sort");
+    let base_path = sorted.path().to_path_buf();
+
+    // ---- Served side: engine + concurrent readers. ----
+    let repair = RepairConfig {
+        recover_rounds: 1,
+        verify: true,
+    };
+    let (store, _) = UpdateStore::open(
+        &base_path,
+        &scratch.file("serve.wal"),
+        &scratch.file("serve.ckpt"),
+        IoStats::shared(),
+        block_size,
+    )
+    .expect("open serve store");
+    let engine = Arc::new(
+        ServeEngine::new(
+            store,
+            ServeConfig {
+                batch_ops: usize::MAX, // the driver flushes explicitly
+                roll_epochs: 1,        // seal every epoch: maximum tier churn
+                compact_threshold: 3,
+                repair,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("serve engine"),
+    );
+
+    // Readers run for the whole ingest: membership + neighborhood
+    // queries against whatever view is published, asserting internal
+    // consistency of every view they see.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_requests = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2u32)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let counter = Arc::clone(&reader_requests);
+            std::thread::spawn(move || {
+                let n = engine.num_vertices() as u32;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = ((i * 37 + u64::from(t) * 13) % u64::from(n)) as VertexId;
+                    let view = engine.view();
+                    assert_eq!(
+                        view.is_member(v),
+                        view.set().binary_search(&v).is_ok(),
+                        "view {} inconsistent at {v}",
+                        view.epoch()
+                    );
+                    engine.neighbors(v).expect("neighbors during ingest");
+                    counter.fetch_add(2, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Ingest: one flush per epoch, keeping every epoch's view pinned
+    // (so compactions must work around live snapshots) and the pinned
+    // epoch-1 answers for the stability check.
+    let mut served_views = vec![engine.view()];
+    let mut all_proved = true;
+    let mut rolls = 0u64;
+    let mut compactions = 0u64;
+    let start = Instant::now();
+    for batch in &batches {
+        engine.submit(batch).expect("submit epoch");
+        let report = engine.flush().expect("flush epoch").expect("non-empty");
+        all_proved &= report.maximality_proved;
+        rolls += u64::from(report.rolled);
+        compactions += u64::from(report.compacted > 0);
+        served_views.push(engine.view());
+    }
+    let ingest_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        reader.join().expect("reader thread");
+    }
+
+    // Snapshot isolation: the epoch-1 view, pinned before every later
+    // epoch, roll and compaction, must still describe a maximal
+    // independent set on its *own* pinned graph.
+    let pinned = &served_views[1];
+    let pinned_stable = pinned.epoch() == 1
+        && pinned.maximality_proved()
+        && is_maximal_independent_set(pinned.graph(), pinned.set());
+
+    // ---- Offline replay: same stream, scan-driven apply path. ----
+    let offline_stats = IoStats::shared();
+    let (mut offline, _) = UpdateStore::open(
+        &base_path,
+        &scratch.file("offline.wal"),
+        &scratch.file("offline.ckpt"),
+        Arc::clone(&offline_stats),
+        block_size,
+    )
+    .expect("open offline store");
+    offline.apply(repair).expect("offline bootstrap");
+    let offline_set = |store: &UpdateStore| -> Vec<VertexId> {
+        Checkpoint::load(store.checkpoint_path(), store.stats())
+            .expect("offline checkpoint")
+            .set
+    };
+    let compare = |epoch: usize, served: &[VertexId], offline: &[VertexId]| -> bool {
+        if served == offline {
+            return true;
+        }
+        let only_served = served
+            .iter()
+            .filter(|v| offline.binary_search(v).is_err())
+            .count();
+        let only_offline = offline
+            .iter()
+            .filter(|v| served.binary_search(v).is_err())
+            .count();
+        eprintln!(
+            "  !! epoch {epoch}: served |IS| = {} vs offline |IS| = {} \
+             ({only_served} served-only, {only_offline} offline-only members)",
+            served.len(),
+            offline.len()
+        );
+        false
+    };
+    let mut replay_matches = compare(0, served_views[0].set(), &offline_set(&offline));
+    for (i, batch) in batches.iter().enumerate() {
+        offline.append_ops(batch).expect("offline append");
+        let report = offline.apply(repair).expect("offline apply");
+        assert!(report.maximality_proved, "offline epoch {} unproved", i + 1);
+        replay_matches &= compare(i + 1, served_views[i + 1].set(), &offline_set(&offline));
+    }
+
+    // The offline side is pure accounted scans — it must conform to the
+    // blocks-per-scan relation of the cost model.
+    let io = offline_stats.snapshot();
+    let model = CostModel {
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges(),
+        file_bytes: sorted.disk_bytes().expect("metadata"),
+        block_size: block_size as u64,
+        storage: sorted.storage().to_string(),
+        shard_bytes: Vec::new(),
+    };
+    let verdict = model.check(
+        None,
+        io.scans_started,
+        io.blocks_read,
+        SERVE_MODEL_TOLERANCE,
+    );
+    assert!(verdict.pass, "offline replay: {verdict}");
+
+    let stats = engine.stats();
+    ServeResult {
+        epochs: stats.epoch,
+        total_ops: stream.len(),
+        rolls,
+        compactions,
+        final_is: served_views.last().expect("views").set().len() as u64,
+        all_proved,
+        replay_matches,
+        pinned_stable,
+        reader_requests: reader_requests.load(Ordering::Relaxed),
+        update_rate: stream.len() as f64 / (ingest_wall_ms / 1e3).max(1e-9),
+        requests: stats.requests,
+        ingest_wall_ms,
+        model: Some(verdict),
+    }
+}
+
+/// Latency quantiles per request kind. Counts are deliberately left
+/// out: the reader threads run free during ingest, so their request
+/// counts are nondeterministic and would trip the exact-match side of
+/// `mis bench check`; the `_ns` keys below land in its noise-tolerant
+/// wall gate instead.
+fn requests_json(requests: &[(&'static str, RequestSummary)]) -> String {
+    let mut json = String::from("{");
+    for (i, (kind, r)) in requests.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!(
+            "\"{kind}\": {{\"p50_ns\": {}, \"p99_ns\": {}}}",
+            r.p50_ns, r.p99_ns
+        ));
+    }
+    json.push('}');
+    json
+}
+
+/// Runs the experiment, prints the summary and writes the JSON file.
+pub fn run() {
+    let n = harness::sweep_vertices().min(30_000);
+    let epochs = 6;
+    let ops_per_epoch = ((n / 20) as usize).max(50);
+    let block_size = 64 * 1024;
+    println!(
+        "== Serving: concurrent readers during tiered ingest \
+         (P(α,β), β = 2.0, |V| ≈ {n}, {epochs} epochs × {ops_per_epoch} ops, 30% deletes) =="
+    );
+
+    let result = run_serve(n, epochs, ops_per_epoch, block_size);
+
+    let rows: Vec<Vec<String>> = result
+        .requests
+        .iter()
+        .map(|(kind, r)| {
+            vec![
+                kind.to_string(),
+                r.count.to_string(),
+                format!("{:.1}µs", r.p50_ns as f64 / 1e3),
+                format!("{:.1}µs", r.p99_ns as f64 / 1e3),
+                format!("{:.1}µs", r.max_ns as f64 / 1e3),
+            ]
+        })
+        .collect();
+    let header = ["request", "count", "p50", "p99", "max"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
+    harness::print_table(&header, &rows);
+    println!(
+        "  {} ops over {} epochs at {:.0} ops/s; {} rolls, {} compactions; \
+         |IS| = {}; {} reader requests answered during ingest",
+        result.total_ops,
+        result.epochs,
+        result.update_rate,
+        result.rolls,
+        result.compactions,
+        result.final_is,
+        result.reader_requests,
+    );
+    println!(
+        "  offline replay identical at every epoch: {}; epoch-1 pin stable \
+         under later compaction: {}",
+        result.replay_matches, result.pinned_stable
+    );
+    assert!(result.all_proved, "an epoch failed the maximality proof");
+    assert!(result.replay_matches, "served set diverged from replay");
+    assert!(result.pinned_stable, "pinned view moved");
+    assert!(
+        result.compactions > 0,
+        "the workload must exercise a partial compaction"
+    );
+    assert!(
+        result.reader_requests > 0,
+        "readers must make progress during ingest"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"serve\",\n",
+            "  \"graph\": {{\"model\": \"plrg\", \"beta\": 2.0, \"seed\": 42, \"vertices\": {}}},\n",
+            "  \"workload\": {{\"epochs\": {}, \"ops\": {}, \"delete_fraction\": 0.3, \"seed\": 7}},\n",
+            "  \"block_size\": {},\n",
+            "  \"hardware_threads\": {},\n",
+            "  \"available_threads\": {},\n",
+            "  \"final_is\": {},\n",
+            "  \"rolls\": {},\n",
+            "  \"compactions\": {},\n",
+            "  \"all_proved\": {},\n",
+            "  \"replay_matches\": {},\n",
+            "  \"pinned_stable\": {},\n",
+            "  \"per_op_ns\": {:.0},\n",
+            "  \"ingest_wall_ms\": {:.2},\n",
+            "  \"requests\": {},\n",
+            "  \"model\": {}\n",
+            "}}\n"
+        ),
+        n,
+        result.epochs,
+        result.total_ops,
+        block_size,
+        mis_obs::hardware_threads(),
+        mis_core::engine::available_threads(),
+        result.final_is,
+        result.rolls,
+        result.compactions,
+        result.all_proved,
+        result.replay_matches,
+        result.pinned_stable,
+        result.ingest_wall_ms * 1e6 / result.total_ops.max(1) as f64,
+        result.ingest_wall_ms,
+        requests_json(&result.requests),
+        result
+            .model
+            .as_ref()
+            .map(|v| v.to_json())
+            .unwrap_or_else(|| "null".into()),
+    );
+    let out_path =
+        std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| DEFAULT_JSON_PATH.to_string());
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+
+    let mut ledger = LedgerEntry::new(
+        "repro serve",
+        &format!("plrg beta=2.0 n={n}, {epochs}x{ops_per_epoch} ops, 2 readers"),
+        harness::env_fingerprint(block_size, "adj-file"),
+    );
+    ledger.metric("vertices", n as f64);
+    ledger.metric("total_ops", result.total_ops as f64);
+    ledger.metric("final_is", result.final_is as f64);
+    ledger.metric("rolls", result.rolls as f64);
+    ledger.metric("compactions", result.compactions as f64);
+    ledger.metric("reader_requests", result.reader_requests as f64);
+    ledger.metric("update_rate", result.update_rate);
+    for (kind, r) in &result.requests {
+        ledger.metric(&format!("{kind}_p50_ns"), r.p50_ns as f64);
+        ledger.metric(&format!("{kind}_p99_ns"), r.p99_ns as f64);
+    }
+    ledger.verdict("all_proved", result.all_proved);
+    ledger.verdict("replay_matches", result.replay_matches);
+    ledger.verdict("pinned_stable", result.pinned_stable);
+    ledger.verdict("model", result.model.as_ref().is_some_and(|v| v.pass));
+    harness::ledger_append(&ledger);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end regression for the serving acceptance criteria: the
+    /// served set equals the offline replay at every epoch, every epoch
+    /// proves maximal, readers progress throughout ingest, the epoch-1
+    /// pin survives later compactions, and the workload really rolls
+    /// and merges segments.
+    #[test]
+    fn served_sets_match_offline_replay_under_concurrent_readers() {
+        let result = run_serve(6_000, 4, 150, 4096);
+        assert_eq!(result.epochs, 4);
+        assert!(result.all_proved);
+        assert!(result.replay_matches, "served set diverged from replay");
+        assert!(result.pinned_stable, "epoch-1 pin moved");
+        assert!(result.rolls >= 2, "rolls: {}", result.rolls);
+        assert!(
+            result.compactions >= 1,
+            "compactions: {}",
+            result.compactions
+        );
+        assert!(result.reader_requests > 0);
+        assert!(result.update_rate > 0.0);
+        assert!(result.model.as_ref().is_some_and(|v| v.pass));
+        // The engine recorded latencies for the kinds the JSON reports.
+        for kind in ["flush", "neighbors"] {
+            assert!(
+                result.requests.iter().any(|(k, _)| *k == kind),
+                "missing request kind {kind}"
+            );
+        }
+        let fragment = requests_json(&result.requests);
+        for key in ["p50_ns", "p99_ns"] {
+            assert!(fragment.contains(key), "missing {key} in {fragment}");
+        }
+        assert!(
+            !fragment.contains("count"),
+            "nondeterministic counts must stay out of the gated JSON"
+        );
+    }
+}

@@ -119,6 +119,73 @@ pub fn repair_updated_set<G: GraphScan + ?Sized>(
     }
 }
 
+/// Repairs `set` after a batch whose **inserted edges are known**: the
+/// eviction pass walks the inserted pairs instead of scanning the whole
+/// graph, so its cost is `O(|batch|)` rather than `O(scan(|V|+|E|))` —
+/// the difference between a maintenance pass and a serving-path epoch
+/// commit. Recover and proof behave exactly as in
+/// [`repair_updated_set`].
+///
+/// `inserted` need not be deduplicated or ordered: conflicts are
+/// resolved in ascending order of their higher endpoint — exactly the
+/// order the scan-driven eviction visits them — so chains of conflicts
+/// (edges sharing a member endpoint) evict the same vertices regardless
+/// of batch order. `graph` must already reflect every update of the
+/// batch (insertions *and* deletions), e.g. an epoch-pinned
+/// [`mis_graph::PinnedDelta`].
+pub fn repair_updated_set_from_ops<G: GraphScan + ?Sized>(
+    graph: &G,
+    set: &[VertexId],
+    inserted: &[(VertexId, VertexId)],
+    config: RepairConfig,
+) -> UpdateRepairOutcome {
+    let n = graph.num_vertices();
+    let mut member = vec![false; n];
+    for &v in set {
+        member[v as usize] = true;
+    }
+
+    // Only an inserted edge can connect two members, so conflicts are
+    // found in the batch itself — no graph scan needed to evict. The
+    // scan-driven pass visits vertices in ascending id order and evicts
+    // a member whose smaller neighbour *still* holds the set, so chains
+    // of conflicts resolve low-to-high; replaying the pairs sorted by
+    // their higher endpoint reproduces that sequence exactly.
+    let mut conflicts: Vec<(VertexId, VertexId)> = inserted
+        .iter()
+        .filter(|&&(u, v)| u != v && member[u as usize] && member[v as usize])
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    conflicts.sort_unstable_by_key(|&(lo, hi)| (hi, lo));
+    conflicts.dedup();
+    let mut evicted = 0u64;
+    for (lo, hi) in conflicts {
+        if member[lo as usize] && member[hi as usize] {
+            member[hi as usize] = false;
+            evicted += 1;
+        }
+    }
+
+    let repaired: Vec<VertexId> = (0..n as VertexId).filter(|&v| member[v as usize]).collect();
+    let swap_config = SwapConfig {
+        max_rounds: Some(config.recover_rounds),
+        ..SwapConfig::default()
+    };
+    let swap = OneKSwap::with_config(swap_config).run(graph, &repaired);
+
+    let (maximality_proved, verify_scans) = if config.verify {
+        (is_maximal_independent_set(graph, &swap.result.set), 1)
+    } else {
+        (false, 0)
+    };
+    UpdateRepairOutcome {
+        swap,
+        evicted,
+        maximality_proved,
+        verify_scans,
+    }
+}
+
 /// Repairs `set` so it is again a maximal independent set of `graph`
 /// (which must already include the inserted edges), then runs up to
 /// `recover_rounds` one-k-swap rounds to regain size.
@@ -287,6 +354,87 @@ mod tests {
             repaired.len(),
             fresh.set.len()
         );
+    }
+
+    #[test]
+    fn op_driven_repair_matches_the_scan_driven_repair() {
+        let g = mis_gen::plrg::Plrg::with_vertices(4_000, 2.1)
+            .seed(23)
+            .generate();
+        let sorted = OrderedCsr::degree_sorted(&g);
+        let initial = Greedy::new().run(&sorted).set;
+
+        let mut delta = DeltaGraph::new(&g);
+        let mut inserted = Vec::new();
+        for pair in initial.chunks_exact(2).take(40) {
+            delta.insert_edge(pair[0], pair[1]);
+            inserted.push((pair[0], pair[1]));
+        }
+        let mut deleted = 0;
+        g.scan(&mut |v, ns| {
+            if deleted < 60 {
+                if let Some(&u) = ns.iter().find(|&&u| u > v) {
+                    delta.delete_edge(v, u);
+                    deleted += 1;
+                }
+            }
+        })
+        .unwrap();
+
+        let scanned = repair_updated_set(&delta, &initial, RepairConfig::default());
+        let from_ops =
+            repair_updated_set_from_ops(&delta, &initial, &inserted, RepairConfig::default());
+        // Same eviction rule, same swap, same rounds → identical sets.
+        assert_eq!(from_ops.evicted, scanned.evicted);
+        assert_eq!(from_ops.swap.result.set, scanned.swap.result.set);
+        assert!(from_ops.maximality_proved);
+        // The op-driven path never scans for eviction: the only scans
+        // are the swap's and the proof's.
+        assert_eq!(
+            from_ops.swap.result.file_scans,
+            scanned.swap.result.file_scans
+        );
+
+        // Duplicates and reversed pairs do not double-evict.
+        let mut noisy = inserted.clone();
+        noisy.extend(inserted.iter().map(|&(u, v)| (v, u)));
+        let dup = repair_updated_set_from_ops(&delta, &initial, &noisy, RepairConfig::default());
+        assert_eq!(dup.evicted, scanned.evicted);
+        assert_eq!(dup.swap.result.set, scanned.swap.result.set);
+    }
+
+    #[test]
+    fn chained_conflicts_evict_identically_in_any_batch_order() {
+        // Members 0 < 2 < 4 on a path, with inserted edges (0,2) and
+        // (2,4) sharing member 2. The ascending scan evicts only 2 —
+        // by the time 4 is visited its smaller member neighbour is
+        // already out. A naive batch-order replay of [(2,4), (0,2)]
+        // would evict both 2 and 4; the op-driven path must instead
+        // resolve conflicts low-to-high and match the scan exactly.
+        let g = mis_gen::special::path(6);
+        let initial = vec![0, 2, 4];
+        let mut delta = DeltaGraph::new(&g);
+        delta.insert_edge(0, 2);
+        delta.insert_edge(2, 4);
+
+        let scanned = repair_updated_set(&delta, &initial, RepairConfig::default());
+        assert_eq!(scanned.evicted, 1);
+
+        for batch in [
+            vec![(0, 2), (2, 4)],
+            vec![(2, 4), (0, 2)],
+            vec![(4, 2), (2, 0)],
+            vec![(2, 4), (2, 4), (0, 2)],
+        ] {
+            let ops =
+                repair_updated_set_from_ops(&delta, &initial, &batch, RepairConfig::default());
+            assert_eq!(ops.evicted, scanned.evicted, "batch {batch:?}");
+            assert_eq!(
+                ops.swap.result.set, scanned.swap.result.set,
+                "batch {batch:?}"
+            );
+            assert!(ops.maximality_proved);
+        }
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub use dynamic::DynamicUpdate;
 pub use engine::{Executor, ParallelConfig, ScanPass};
 pub use greedy::{Baseline, Greedy};
 pub use incremental::{
-    repair_independent_set, repair_updated_set, RepairConfig, RepairOutcome, UpdateRepairOutcome,
+    repair_independent_set, repair_updated_set, repair_updated_set_from_ops, RepairConfig,
+    RepairOutcome, UpdateRepairOutcome,
 };
 pub use onek::OneKSwap;
 pub use order::degree_order;

@@ -119,7 +119,7 @@ pub struct BufferPool<S: PageSource> {
     frames: Vec<Frame>,
     /// page number → frame index, for every resident page.
     table: HashMap<u64, usize>,
-    policy: Box<dyn EvictionPolicy>,
+    policy: Box<dyn EvictionPolicy + Send>,
     /// Pin counts mirrored out of `frames` so the policy can see them
     /// without borrowing the frame table.
     pins: Vec<u32>,

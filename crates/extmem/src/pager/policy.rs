@@ -148,7 +148,7 @@ impl EvictionPolicy for LruPolicy {
 }
 
 /// Constructs the policy implementation for `kind`.
-pub(crate) fn make_policy(kind: PolicyKind) -> Box<dyn EvictionPolicy> {
+pub(crate) fn make_policy(kind: PolicyKind) -> Box<dyn EvictionPolicy + Send> {
     match kind {
         PolicyKind::Clock => Box::<ClockPolicy>::default(),
         PolicyKind::Lru => Box::<LruPolicy>::default(),

@@ -2,22 +2,40 @@
 //! massive graphs with frequent updates" future-work direction.
 //!
 //! Rewriting a multi-gigabyte adjacency file for every batch of edge
-//! updates defeats the point of the semi-external model. A [`DeltaGraph`]
-//! keeps the base representation untouched and overlays an in-memory
-//! batch of **inserted** edges plus a tombstone set of **deleted** edges
+//! updates defeats the point of the semi-external model. The types here
+//! keep the base representation untouched and overlay an in-memory batch
+//! of **inserted** edges plus a tombstone set of **deleted** edges
 //! (`O(batch)` memory): scans merge the extra neighbours into each record
 //! and filter the tombstoned ones on the fly, so every algorithm in
-//! `mis-core` runs on the edited graph unchanged. When the batch grows
-//! past the memory budget, compact it into a new base file and start a
-//! fresh overlay (see `mis_update`'s log compaction).
+//! `mis-core` runs on the edited graph unchanged.
+//!
+//! Three views share one overlay representation:
+//!
+//! * [`DeltaOverlay`] — the owned overlay state itself (insertions,
+//!   tombstones, exact edge-count bookkeeping), independent of any base
+//!   graph;
+//! * [`DeltaGraph`] — a borrowing view: `&base + DeltaOverlay`, the
+//!   classic build-edit-scan workflow of the update subsystem;
+//! * [`PinnedDelta`] — an **owning, epoch-pinned** view: a cheaply
+//!   cloneable base handle plus an `Arc<DeltaOverlay>` stamped with the
+//!   WAL epoch it reflects. This is the snapshot-isolation substrate of
+//!   `mis_update`: readers scan a `PinnedDelta` while later epochs
+//!   append and compact underneath, and the overlay is shared by
+//!   refcount instead of copied per reader.
+//!
+//! When the batch grows past the memory budget, compact it into a new
+//! base file and start a fresh overlay (see `mis_update`'s log
+//! compaction).
 
 use std::io;
+use std::sync::Arc;
 
 use crate::hash::FxHashMap;
 use crate::scan::GraphScan;
 use crate::VertexId;
 
-/// A base graph plus an in-memory batch of inserted and deleted edges.
+/// Owned overlay state: an in-memory batch of inserted and deleted
+/// edges, independent of the base graph it will be laid over.
 ///
 /// Each edited pair lives on exactly one side of the overlay — `extra`
 /// (merged into records at scan time) or `removed` (filtered out of
@@ -27,9 +45,8 @@ use crate::VertexId;
 /// never existed. The running edge *count* is exact for valid streams
 /// (inserts name absent edges, deletes name present ones) and merely
 /// drifts for invalid ones; see [`DeltaGraph::count_edges_exact`].
-#[derive(Debug)]
-pub struct DeltaGraph<'a, G: GraphScan + ?Sized> {
-    base: &'a G,
+#[derive(Debug, Default, Clone)]
+pub struct DeltaOverlay {
     /// Extra neighbours per vertex (both directions of each insertion).
     extra: FxHashMap<VertexId, Vec<VertexId>>,
     /// Tombstoned base neighbours per vertex (both directions of each
@@ -72,28 +89,21 @@ fn pair_remove(map: &mut FxHashMap<VertexId, Vec<VertexId>>, u: VertexId, v: Ver
     }
 }
 
-impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
-    /// Wraps `base` with an empty overlay.
-    pub fn new(base: &'a G) -> Self {
-        Self {
-            base,
-            extra: FxHashMap::default(),
-            removed: FxHashMap::default(),
-            counted: FxHashMap::default(),
-            added_edges: 0,
-            deleted_edges: 0,
-        }
+impl DeltaOverlay {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Inserts an undirected edge. Endpoints must be existing vertices;
-    /// self-loops are ignored. Re-inserting a tombstoned edge resurrects
-    /// it; inserting an edge that is already live — in the base file or
-    /// the overlay — leaves scans unchanged (records dedup against the
-    /// base at scan time), though a duplicate of a *base* edge inflates
-    /// [`DeltaGraph::num_edges`] by one, since base membership cannot be
-    /// checked without a scan.
-    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
-        let n = self.base.num_vertices() as VertexId;
+    /// Inserts an undirected edge; `n` is the base vertex count the
+    /// endpoints are validated against. Self-loops are ignored.
+    /// Re-inserting a tombstoned edge resurrects it; inserting an edge
+    /// that is already live — in the base file or the overlay — leaves
+    /// scans unchanged (records dedup against the base at scan time),
+    /// though a duplicate of a *base* edge inflates the running count by
+    /// one, since base membership cannot be checked without a scan.
+    pub fn insert_edge(&mut self, n: usize, u: VertexId, v: VertexId) {
+        let n = n as VertexId;
         assert!(
             u < n && v < n,
             "edge ({u}, {v}) out of range for {n} vertices"
@@ -128,11 +138,10 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
     /// Deletes an undirected edge: the pair moves to the tombstone side
     /// of the overlay, retracting any overlay insertion *and* filtering
     /// any base copy out of subsequent scans. Deleting the same edge
-    /// twice is a no-op; deleting an edge that never existed leaves scans
-    /// unchanged but deflates [`DeltaGraph::num_edges`] by one, since
-    /// base membership cannot be checked without a scan.
-    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
-        let n = self.base.num_vertices() as VertexId;
+    /// twice is a no-op; deleting an edge that never existed leaves
+    /// scans unchanged but deflates the running count by one.
+    pub fn delete_edge(&mut self, n: usize, u: VertexId, v: VertexId) {
+        let n = n as VertexId;
         assert!(
             u < n && v < n,
             "edge ({u}, {v}) out of range for {n} vertices"
@@ -164,6 +173,126 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
         self.deleted_edges += 1;
     }
 
+    /// Number of live overlay insertions (undirected).
+    pub fn added_edges(&self) -> u64 {
+        self.added_edges
+    }
+
+    /// Number of live tombstones (undirected).
+    pub fn deleted_edges(&self) -> u64 {
+        self.deleted_edges
+    }
+
+    /// Whether the overlay holds no edits at all.
+    pub fn is_empty(&self) -> bool {
+        self.extra.is_empty() && self.removed.is_empty()
+    }
+
+    /// Approximate overlay memory in bytes (the semi-external budget the
+    /// overlay consumes), covering insertions, tombstones and the
+    /// per-pair count flags.
+    pub fn overlay_bytes(&self) -> u64 {
+        self.extra
+            .values()
+            .chain(self.removed.values())
+            .map(|v| 4 * v.len() as u64 + 16)
+            .sum::<u64>()
+            + 9 * self.counted.len() as u64
+    }
+
+    /// Whether the overlay edits `v`'s record at all (extra neighbours
+    /// or tombstones).
+    pub fn touches(&self, v: VertexId) -> bool {
+        self.extra.contains_key(&v) || self.removed.contains_key(&v)
+    }
+
+    /// Merges the overlay into one base record: `merged` receives `ns`
+    /// minus tombstones plus extra neighbours. Returns `false` (leaving
+    /// `merged` untouched) when the overlay does not edit `v`, so
+    /// callers can hand the base slice through without a copy.
+    pub fn merge_record(&self, v: VertexId, ns: &[VertexId], merged: &mut Vec<VertexId>) -> bool {
+        let extra = self.extra.get(&v);
+        let removed = self.removed.get(&v);
+        if extra.is_none() && removed.is_none() {
+            return false;
+        }
+        merged.clear();
+        match removed {
+            None => merged.extend_from_slice(ns),
+            Some(dead) => merged.extend(ns.iter().copied().filter(|u| !dead.contains(u))),
+        }
+        if let Some(extra) = extra {
+            for &u in extra {
+                // Tolerate inserts that duplicate base edges.
+                if !ns.contains(&u) {
+                    merged.push(u);
+                }
+            }
+        }
+        true
+    }
+
+    /// Scans `base` with the overlay merged in — the shared scan shape
+    /// of every overlay view.
+    fn scan_over<G: GraphScan + ?Sized>(
+        &self,
+        base: &G,
+        f: &mut dyn FnMut(VertexId, &[VertexId]),
+    ) -> io::Result<()> {
+        let mut merged: Vec<VertexId> = Vec::new();
+        base.scan(&mut |v, ns| {
+            if self.merge_record(v, ns, &mut merged) {
+                f(v, &merged);
+            } else {
+                f(v, ns);
+            }
+        })
+    }
+}
+
+/// A base graph plus an in-memory batch of inserted and deleted edges.
+///
+/// The borrowing overlay view: see [`DeltaOverlay`] for the replay
+/// semantics and [`PinnedDelta`] for the owning, epoch-pinned variant.
+#[derive(Debug)]
+pub struct DeltaGraph<'a, G: GraphScan + ?Sized> {
+    base: &'a G,
+    overlay: DeltaOverlay,
+}
+
+impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
+    /// Wraps `base` with an empty overlay.
+    pub fn new(base: &'a G) -> Self {
+        Self::with_overlay(base, DeltaOverlay::new())
+    }
+
+    /// Wraps `base` with an existing overlay (e.g. one replayed from a
+    /// log by `mis_update`).
+    pub fn with_overlay(base: &'a G, overlay: DeltaOverlay) -> Self {
+        Self { base, overlay }
+    }
+
+    /// The overlay state itself.
+    pub fn overlay(&self) -> &DeltaOverlay {
+        &self.overlay
+    }
+
+    /// Consumes the view, returning the overlay (to pin it, share it, or
+    /// lay it over another base).
+    pub fn into_overlay(self) -> DeltaOverlay {
+        self.overlay
+    }
+
+    /// Inserts an undirected edge — see [`DeltaOverlay::insert_edge`].
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        self.overlay.insert_edge(self.base.num_vertices(), u, v);
+    }
+
+    /// Deletes an undirected edge — see [`DeltaOverlay::delete_edge`].
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
+        self.overlay.delete_edge(self.base.num_vertices(), u, v);
+    }
+
     /// Inserts a batch of edges.
     pub fn insert_edges(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) {
         for (u, v) in edges {
@@ -180,12 +309,12 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
 
     /// Number of live overlay insertions (undirected).
     pub fn added_edges(&self) -> u64 {
-        self.added_edges
+        self.overlay.added_edges()
     }
 
     /// Number of live tombstones (undirected).
     pub fn deleted_edges(&self) -> u64 {
-        self.deleted_edges
+        self.overlay.deleted_edges()
     }
 
     /// Counts the edited graph's edges exactly with one scan, regardless
@@ -197,16 +326,10 @@ impl<'a, G: GraphScan + ?Sized> DeltaGraph<'a, G> {
         Ok(directed / 2)
     }
 
-    /// Approximate overlay memory in bytes (the semi-external budget the
-    /// overlay consumes), covering insertions, tombstones and the
-    /// per-pair count flags.
+    /// Approximate overlay memory in bytes — see
+    /// [`DeltaOverlay::overlay_bytes`].
     pub fn overlay_bytes(&self) -> u64 {
-        self.extra
-            .values()
-            .chain(self.removed.values())
-            .map(|v| 4 * v.len() as u64 + 16)
-            .sum::<u64>()
-            + 9 * self.counted.len() as u64
+        self.overlay.overlay_bytes()
     }
 }
 
@@ -221,36 +344,89 @@ impl<G: GraphScan + ?Sized> GraphScan for DeltaGraph<'_, G> {
     /// this count while leaving scans correct — use
     /// [`DeltaGraph::count_edges_exact`] when the stream is untrusted.
     fn num_edges(&self) -> u64 {
-        self.base.num_edges() + self.added_edges - self.deleted_edges
+        self.base.num_edges() + self.overlay.added_edges() - self.overlay.deleted_edges()
     }
 
     fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
-        let mut merged: Vec<VertexId> = Vec::new();
-        self.base.scan(&mut |v, ns| {
-            let extra = self.extra.get(&v);
-            let removed = self.removed.get(&v);
-            if extra.is_none() && removed.is_none() {
-                return f(v, ns);
-            }
-            merged.clear();
-            match removed {
-                None => merged.extend_from_slice(ns),
-                Some(dead) => merged.extend(ns.iter().copied().filter(|u| !dead.contains(u))),
-            }
-            if let Some(extra) = extra {
-                for &u in extra {
-                    // Tolerate inserts that duplicate base edges.
-                    if !ns.contains(&u) {
-                        merged.push(u);
-                    }
-                }
-            }
-            f(v, &merged);
-        })
+        self.overlay.scan_over(self.base, f)
     }
 
     fn storage(&self) -> &'static str {
         "delta-overlay"
+    }
+}
+
+/// An **owning, epoch-pinned** overlay view: a cheaply cloneable base
+/// handle plus a refcounted [`DeltaOverlay`], stamped with the update
+/// epoch the overlay reflects.
+///
+/// This is the read side of snapshot isolation in `mis_update`: a
+/// snapshot builds the overlay once, wraps it in an `Arc`, and every
+/// reader clones the `PinnedDelta` — the overlay is shared, the view is
+/// immutable, and the pinned epoch never moves while writers commit
+/// later epochs underneath.
+#[derive(Debug, Clone)]
+pub struct PinnedDelta<G: GraphScan> {
+    base: G,
+    overlay: Arc<DeltaOverlay>,
+    epoch: u64,
+}
+
+impl<G: GraphScan> PinnedDelta<G> {
+    /// Pins `overlay` (which must reflect every committed operation up
+    /// to and including `epoch`) over `base`.
+    pub fn new(base: G, overlay: Arc<DeltaOverlay>, epoch: u64) -> Self {
+        Self {
+            base,
+            overlay,
+            epoch,
+        }
+    }
+
+    /// The update epoch this view is pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The base graph handle.
+    pub fn base(&self) -> &G {
+        &self.base
+    }
+
+    /// The shared overlay.
+    pub fn overlay(&self) -> &Arc<DeltaOverlay> {
+        &self.overlay
+    }
+
+    /// Merges the overlay into one base record for point queries:
+    /// given `v`'s *base* neighbour list, returns the pinned view's
+    /// neighbour list (tombstones filtered, insertions appended).
+    pub fn merge_neighbors(&self, v: VertexId, base_ns: &[VertexId]) -> Vec<VertexId> {
+        let mut merged = Vec::new();
+        if !self.overlay.merge_record(v, base_ns, &mut merged) {
+            merged.extend_from_slice(base_ns);
+        }
+        merged
+    }
+}
+
+impl<G: GraphScan> GraphScan for PinnedDelta<G> {
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// `base + inserted − deleted` — same caveat as
+    /// [`DeltaGraph::num_edges`].
+    fn num_edges(&self) -> u64 {
+        self.base.num_edges() + self.overlay.added_edges() - self.overlay.deleted_edges()
+    }
+
+    fn scan(&self, f: &mut dyn FnMut(VertexId, &[VertexId])) -> io::Result<()> {
+        self.overlay.scan_over(&self.base, f)
+    }
+
+    fn storage(&self) -> &'static str {
+        "pinned-delta"
     }
 }
 
@@ -429,5 +605,42 @@ mod tests {
         let g = base();
         let mut delta = DeltaGraph::new(&g);
         delta.delete_edge(0, 99);
+    }
+
+    #[test]
+    fn pinned_view_scans_identically_and_shares_the_overlay() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.insert_edge(0, 3);
+        delta.delete_edge(1, 2);
+        let borrowed = records(&delta);
+
+        let overlay = Arc::new(delta.into_overlay());
+        let pinned = PinnedDelta::new(g.clone(), Arc::clone(&overlay), 7);
+        assert_eq!(pinned.epoch(), 7);
+        assert_eq!(records(&pinned), borrowed);
+        assert_eq!(pinned.num_edges(), g.num_edges() + 1 - 1);
+        assert_eq!(pinned.storage(), "pinned-delta");
+
+        // Clones share the overlay by refcount, not by copy.
+        let clone = pinned.clone();
+        assert_eq!(Arc::strong_count(&overlay), 3);
+        assert_eq!(records(&clone), borrowed);
+    }
+
+    #[test]
+    fn pinned_point_queries_merge_the_overlay() {
+        let g = base();
+        let mut delta = DeltaGraph::new(&g);
+        delta.insert_edge(0, 3);
+        delta.delete_edge(0, 1);
+        let overlay = Arc::new(delta.into_overlay());
+        let pinned = PinnedDelta::new(g, overlay, 1);
+        // Vertex 0's base record is [1]; the view deletes 1, adds 3.
+        assert_eq!(pinned.merge_neighbors(0, &[1]), vec![3]);
+        // An untouched vertex passes its base record through.
+        assert_eq!(pinned.merge_neighbors(2, &[1]), vec![1]);
+        assert!(!pinned.overlay().touches(2));
+        assert!(pinned.overlay().touches(0));
     }
 }

@@ -58,7 +58,7 @@ pub use compressed::{
     CompressedRecordIndex,
 };
 pub use csr::CsrGraph;
-pub use delta::DeltaGraph;
+pub use delta::{DeltaGraph, DeltaOverlay, PinnedDelta};
 pub use raccess::{NeighborAccess, RandomAccessGraph, RecordIndex};
 pub use scan::{
     DecodedPiece, DecodedUnit, GraphScan, OrderedCsr, PieceAssembler, RawScan, RawScanLimits,

@@ -79,6 +79,13 @@
 //! * `reader.handout` (reader blocked pushing into the bounded queue),
 //!   `reorder.stall` (ordered-merge consumer blocked on the reorder
 //!   window) and the `queue.depth` gauge explain *why* workers idle.
+//! * cat `"serve"` — the serving front end's spans: `serve.flush` (one
+//!   epoch commit: append + roll + snapshot + repair + checkpoint),
+//!   `serve.repair` (the snapshot-side repair alone) and the
+//!   `serve.pending` gauge (queued ops awaiting the next flush). Request
+//!   latency distributions are kept per kind in
+//!   [`requests::RequestStats`] rather than as trace events, so a
+//!   million probes cost two histogram increments, not a million spans.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -89,6 +96,7 @@ pub mod hist;
 pub mod ledger;
 pub mod model;
 pub mod report;
+pub mod requests;
 pub mod trace;
 
 pub use clock::{hardware_threads, timed, timed_split, SplitTimes};
@@ -97,6 +105,7 @@ pub use hist::LogHistogram;
 pub use ledger::{EnvFingerprint, Ledger, LedgerEntry};
 pub use model::{CostModel, ModelVerdict, Workload};
 pub use report::TraceReport;
+pub use requests::{RequestStats, RequestSummary};
 pub use trace::{
     counter, drain, enabled, flush_local, instant, name_thread, observe_ns, set_enabled, span,
     Event, EventKind, SpanGuard, Trace,

@@ -1,0 +1,129 @@
+//! Per-request-kind latency accounting for long-running front ends.
+//!
+//! The batch experiments time whole phases; a serving process needs the
+//! distribution *per request kind* — a membership probe is a bitmap
+//! read, a neighborhood query walks the pager, a flush repairs the set —
+//! and their latencies differ by orders of magnitude. [`RequestStats`]
+//! keeps one [`LogHistogram`] per kind behind a mutex (request handling
+//! is I/O-bound; one uncontended lock per request is noise) and renders
+//! the usual p50/p99/max/mean summary the `mis serve` STATS verb and the
+//! `repro serve` experiment report.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::hist::LogHistogram;
+
+/// One kind's latency summary, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSummary {
+    /// Requests recorded.
+    pub count: u64,
+    /// Median latency (octave precision).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (octave precision).
+    pub p99_ns: u64,
+    /// Largest observed latency (exact).
+    pub max_ns: u64,
+    /// Arithmetic mean (bucket midpoints).
+    pub mean_ns: f64,
+}
+
+/// Thread-safe per-kind latency histograms.
+///
+/// Kinds are static strings (`"member"`, `"neighbors"`, `"flush"`, …)
+/// so recording never allocates a key; the map is ordered so summaries
+/// render deterministically.
+#[derive(Debug, Default)]
+pub struct RequestStats {
+    kinds: Mutex<BTreeMap<&'static str, LogHistogram>>,
+}
+
+impl RequestStats {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request of `kind` that took `ns` nanoseconds.
+    pub fn record(&self, kind: &'static str, ns: u64) {
+        let mut kinds = self.kinds.lock().expect("request stats poisoned");
+        kinds.entry(kind).or_default().record(ns);
+    }
+
+    /// Total requests recorded across all kinds.
+    pub fn total(&self) -> u64 {
+        let kinds = self.kinds.lock().expect("request stats poisoned");
+        kinds.values().map(|h| h.count()).sum()
+    }
+
+    /// The summary of one kind, if anything was recorded for it.
+    pub fn summary(&self, kind: &str) -> Option<RequestSummary> {
+        let kinds = self.kinds.lock().expect("request stats poisoned");
+        kinds.get(kind).map(summarize)
+    }
+
+    /// Every kind's summary, ordered by kind name.
+    pub fn summaries(&self) -> Vec<(&'static str, RequestSummary)> {
+        let kinds = self.kinds.lock().expect("request stats poisoned");
+        kinds.iter().map(|(&k, h)| (k, summarize(h))).collect()
+    }
+}
+
+fn summarize(h: &LogHistogram) -> RequestSummary {
+    RequestSummary {
+        count: h.count(),
+        p50_ns: h.quantile(0.50),
+        p99_ns: h.quantile(0.99),
+        max_ns: h.max(),
+        mean_ns: h.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_kind_and_summarizes() {
+        let stats = RequestStats::new();
+        for i in 1..=100u64 {
+            stats.record("member", i * 1_000);
+        }
+        stats.record("flush", 5_000_000);
+
+        assert_eq!(stats.total(), 101);
+        let member = stats.summary("member").unwrap();
+        assert_eq!(member.count, 100);
+        assert!(member.p50_ns >= 32_000 && member.p50_ns <= 128_000);
+        assert!(member.p99_ns >= member.p50_ns);
+        assert_eq!(member.max_ns, 100_000);
+        assert!(member.mean_ns > 0.0);
+
+        let all = stats.summaries();
+        assert_eq!(
+            all.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec!["flush", "member"],
+            "ordered by kind"
+        );
+        assert!(stats.summary("nope").is_none());
+    }
+
+    #[test]
+    fn is_shareable_across_threads() {
+        let stats = std::sync::Arc::new(RequestStats::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let stats = std::sync::Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    stats.record(if t % 2 == 0 { "member" } else { "stats" }, i + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.total(), 1_000);
+    }
+}

@@ -41,9 +41,9 @@ use mis_graph::VertexId;
 /// Magic bytes identifying a write-ahead edge log.
 pub const WAL_MAGIC: &[u8; 8] = b"MISWAL01";
 
-const TAG_INSERT: u8 = 0x01;
-const TAG_DELETE: u8 = 0x02;
-const TAG_EPOCH: u8 = 0x03;
+pub(crate) const TAG_INSERT: u8 = 0x01;
+pub(crate) const TAG_DELETE: u8 = 0x02;
+pub(crate) const TAG_EPOCH: u8 = 0x03;
 
 /// One logged edge operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +75,9 @@ impl EdgeOp {
     }
 }
 
-/// 32-bit FNV-1a, the per-record checksum.
-fn fnv1a32(bytes: &[u8]) -> u32 {
+/// 32-bit FNV-1a, the per-record checksum (shared with the segment
+/// files, which reuse the WAL's record framing).
+pub(crate) fn fnv1a32(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811C_9DC5;
     for &b in bytes {
         h ^= u32::from(b);
@@ -90,7 +91,7 @@ fn corrupt(msg: &str) -> io::Error {
 }
 
 /// Serialises one record (tag + payload + checksum) into a fresh buffer.
-fn encode_record(tag: u8, fields: &[u64]) -> Vec<u8> {
+pub(crate) fn encode_record(tag: u8, fields: &[u64]) -> Vec<u8> {
     let mut rec = vec![tag];
     for &f in fields {
         write_varint(&mut rec, f).expect("vec write cannot fail");

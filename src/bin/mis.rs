@@ -24,9 +24,14 @@
 //!              apply <base> [--rounds N]           repair + checkpoint the IS
 //!              compact <base> <out>                merge log into a new base
 //!                      [--format plain|compressed]
-//!              status <base>                       inspect epochs/checkpoint
+//!              status <base> [--json]              inspect epochs/segments
 //!              (all take [--wal F] [--checkpoint F]; defaults derive
 //!               from the base path: <base>.wal / <base>.ckpt)
+//! mis serve    <base> (--socket PATH | --listen HOST:PORT)   serving front end
+//!              [--batch-ops N] [--roll-epochs N] [--roll-bytes B]
+//!              [--compact-threshold N] [--rounds N] [--cache-mb N]
+//!              --status | --script FILE | --shutdown         client modes
+//!              (clients take --socket PATH or --connect HOST:PORT)
 //! mis trace    report <trace.jsonl>      summarise a recorded trace
 //!              [--json]                   machine-readable report
 //! mis bench    diff <base> <current>     side-by-side snapshot diff
@@ -86,12 +91,29 @@
 //! size, scan counts, block transfers, cache hit rates (when caching)
 //! and the modelled memory, and verifies the result before reporting
 //! success.
+//!
+//! `mis serve` turns the update store into a long-running process: it
+//! listens on a unix socket (`--socket`) or TCP address (`--listen`),
+//! batches `ADD`/`DEL` operations into WAL epochs (auto-flushing every
+//! `--batch-ops`, or on an explicit `FLUSH`), repairs the maintained
+//! independent set incrementally per epoch, and answers `MEMBER`,
+//! `NEIGHBORS`, `STATS` and `STATUS` queries from epoch-pinned snapshot
+//! views that ingest and compaction never block. One line per request,
+//! one line per response; replies start with `OK` or `ERR`. The same
+//! subcommand doubles as the client: `mis serve --status` prints the
+//! server's stats + store status, `--script FILE` plays a file of
+//! protocol verbs, `--shutdown` flushes and stops the server. `<base>`
+//! accepts every store format (plain, compressed, sharded); all serve
+//! queries share one pager budget (`--cache-mb`).
 
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mis_obs as obs;
 use mis_obs::report::{parse_json, Json};
@@ -106,7 +128,7 @@ use semi_mis::graph::{
     split_adj_file, AnyAdjFile, ShardManifest, SplitOptions,
 };
 use semi_mis::prelude::*;
-use semi_mis::update::CompactFormat;
+use semi_mis::update::{CompactFormat, ServeConfig, ServeEngine, ServeStats, StoreStatus};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -136,7 +158,11 @@ usage: mis <command> ... [--block-size BYTES]
   update append <base> --ops <file> [--wal F]
          apply <base> [--rounds N] [--wal F] [--checkpoint F]
          compact <base> <out> [--format plain|compressed] [--wal F] [--checkpoint F]
-         status <base> [--wal F] [--checkpoint F]
+         status <base> [--json] [--wal F] [--checkpoint F]
+  serve <base> (--socket PATH | --listen HOST:PORT)
+        [--batch-ops N] [--roll-epochs N] [--roll-bytes B] [--compact-threshold N]
+        [--rounds N] [--cache-mb N] [--wal F] [--checkpoint F]
+  serve (--status | --script FILE | --shutdown) (--socket PATH | --connect HOST:PORT)
   trace report <trace.jsonl> [--json]
   bench diff <base.json> <current.json>
         check --baseline <file> [--current <file>]
@@ -163,6 +189,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "bound" => cmd_bound(rest),
         "run" => cmd_run(rest),
         "update" => cmd_update(rest),
+        "serve" => cmd_serve(rest),
         "trace" => cmd_trace(rest),
         "bench" => cmd_bench(rest),
         other => Err(format!("unknown command `{other}`")),
@@ -173,7 +200,15 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 type Options = Vec<(String, String)>;
 
 /// Flags that take no value; parsed as `(name, "true")`.
-const BOOL_FLAGS: &[&str] = &["compress", "quiet", "record", "check-model", "json"];
+const BOOL_FLAGS: &[&str] = &[
+    "compress",
+    "quiet",
+    "record",
+    "check-model",
+    "json",
+    "status",
+    "shutdown",
+];
 
 /// Pulls `--name value` options, valueless `--flag`s and positional
 /// arguments apart.
@@ -1343,23 +1378,47 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         }
         "status" => {
             let status = store.status().map_err(|e| e.to_string())?;
-            println!("base: {} ({} B blocks)", base.display(), block_size);
-            println!("  |V| = {}", status.vertices);
-            println!(
-                "  |E| = {} on disk, {} live",
-                status.base_edges, status.live_edges
-            );
-            println!("wal: {} ({} B)", wal.display(), status.wal_bytes);
-            println!(
-                "  epoch {} committed, {} ops awaiting compaction",
-                status.last_epoch, status.committed_ops
-            );
-            match status.checkpoint {
-                Some((epoch, size)) => {
-                    let lag = status.last_epoch.saturating_sub(epoch);
-                    println!("checkpoint: epoch {epoch}, |IS| = {size}, {lag} epochs behind");
+            if opt(&opts, "json").is_some() {
+                println!("{}", status_json(&status));
+            } else {
+                println!("base: {} ({} B blocks)", base.display(), block_size);
+                println!("  |V| = {}", status.vertices);
+                println!(
+                    "  |E| = {} on disk, {} live",
+                    status.base_edges, status.live_edges
+                );
+                println!("wal: {} ({} B)", wal.display(), status.wal_bytes);
+                println!(
+                    "  epoch {} committed, {} ops awaiting compaction",
+                    status.last_epoch, status.committed_ops
+                );
+                println!(
+                    "segments: {} live ({} B), {} dead awaiting unpin",
+                    status.segments.len(),
+                    status.segment_bytes,
+                    status.dead_segments
+                );
+                for meta in &status.segments {
+                    println!(
+                        "  seg {:06}: epochs {}..={}, {} ops ({} tombstones), \
+                         vertices {}..={}, {} B",
+                        meta.id,
+                        meta.epoch_lo,
+                        meta.epoch_hi,
+                        meta.ops,
+                        meta.tombstones,
+                        meta.min_vertex,
+                        meta.max_vertex,
+                        meta.bytes
+                    );
                 }
-                None => println!("checkpoint: none (run `mis update apply`)"),
+                match status.checkpoint {
+                    Some((epoch, size)) => {
+                        let lag = status.last_epoch.saturating_sub(epoch);
+                        println!("checkpoint: epoch {epoch}, |IS| = {size}, {lag} epochs behind");
+                    }
+                    None => println!("checkpoint: none (run `mis update apply`)"),
+                }
             }
         }
         other => return Err(format!("unknown update action `{other}`")),
@@ -1368,6 +1427,484 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     let report = finish_trace(trace_path.as_deref(), &stats)?;
     print_io_summary(&stats, report.as_ref());
     Ok(())
+}
+
+/// `mis serve`: the long-running update + query front end (server
+/// mode), or a thin line-protocol client (`--status`, `--script FILE`,
+/// `--shutdown`) talking to one.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_opts(args)?;
+    if let Some(verbs) = serve_client_verbs(&opts)? {
+        if !pos.is_empty() {
+            return Err("serve client modes take no positional arguments".into());
+        }
+        return serve_client(&opts, &verbs);
+    }
+    let [base] = pos.as_slice() else {
+        return Err("serve needs: <base> (--socket PATH | --listen HOST:PORT), \
+             or a client flag (--status | --script FILE | --shutdown)"
+            .into());
+    };
+    serve_server(Path::new(base), &opts)
+}
+
+/// Server mode: open the store, publish the engine behind a listener,
+/// answer protocol lines until a `SHUTDOWN` arrives.
+fn serve_server(base: &Path, opts: &Options) -> Result<(), String> {
+    let (wal, ckpt) = update_paths(base, opts);
+    let block_size = opt_block_size(opts)?;
+    let trace_path = opt_trace(opts);
+    let cache_mb: u64 = opt_parse(opts, "cache-mb", 0)?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        batch_ops: opt_parse(opts, "batch-ops", defaults.batch_ops)?,
+        roll_epochs: opt_parse(opts, "roll-epochs", defaults.roll_epochs)?,
+        roll_bytes: opt_parse(opts, "roll-bytes", defaults.roll_bytes)?,
+        compact_threshold: opt_parse(opts, "compact-threshold", defaults.compact_threshold)?,
+        repair: RepairConfig {
+            recover_rounds: opt_parse(opts, "rounds", 2)?,
+            verify: true,
+        },
+        pager: if cache_mb > 0 {
+            PagerConfig::with_capacity_bytes(cache_mb << 20, block_size, PolicyKind::default())
+        } else {
+            PagerConfig::default()
+        },
+    };
+    if config.batch_ops == 0 {
+        return Err("--batch-ops must be at least 1".into());
+    }
+    let listener = ServeListener::bind(opts)?;
+
+    let stats = IoStats::shared();
+    let open_span = obs::span("phase", "open");
+    let (store, recovery) = UpdateStore::open(base, &wal, &ckpt, Arc::clone(&stats), block_size)
+        .map_err(|e| e.to_string())?;
+    if recovery.dropped_bytes > 0 {
+        println!(
+            "wal recovery: dropped {} torn/uncommitted tail bytes, resumed at epoch {}",
+            recovery.dropped_bytes, recovery.last_epoch
+        );
+    }
+    let engine = Arc::new(ServeEngine::new(store, config).map_err(|e| e.to_string())?);
+    drop(open_span);
+
+    {
+        let view = engine.view();
+        println!(
+            "serving {} ({} vertices) at epoch {}, |IS| = {}",
+            base.display(),
+            engine.num_vertices(),
+            view.epoch(),
+            view.set().len()
+        );
+    }
+    println!(
+        "listening on {} (verbs: ADD u v | DEL u v | FLUSH | MEMBER v | \
+         NEIGHBORS v | STATS | STATUS | PING | SHUTDOWN)",
+        listener.describe()
+    );
+
+    let serve_span = obs::span("phase", "serve");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut handlers = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                let engine = Arc::clone(&engine);
+                let shutdown = Arc::clone(&shutdown);
+                handlers.push(std::thread::spawn(move || {
+                    serve_connection(conn, &engine, &shutdown)
+                }));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => {
+                listener.close();
+                return Err(format!("accept failed: {e}"));
+            }
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    drop(serve_span);
+    listener.close();
+
+    // Final flush so nothing queued at shutdown is lost.
+    engine.flush().map_err(|e| e.to_string())?;
+    let summary = engine.stats();
+    println!(
+        "shutdown at epoch {}: |IS| = {}, {} flushes, {} rolls, {} compactions",
+        summary.epoch, summary.set_size, summary.flushes, summary.rolls, summary.compactions
+    );
+    for (kind, r) in &summary.requests {
+        println!(
+            "  {kind}: {} requests, p50 {}µs, p99 {}µs, max {}µs",
+            r.count,
+            r.p50_ns / 1_000,
+            r.p99_ns / 1_000,
+            r.max_ns / 1_000
+        );
+    }
+    let report = finish_trace(trace_path.as_deref(), &stats)?;
+    print_io_summary(&stats, report.as_ref());
+    Ok(())
+}
+
+/// Where `mis serve` listens: a unix socket or a TCP address. Accepts
+/// are non-blocking so the main loop can watch the shutdown flag.
+enum ServeListener {
+    Unix {
+        listener: UnixListener,
+        path: PathBuf,
+    },
+    Tcp(TcpListener),
+}
+
+/// One accepted serve connection, either flavour.
+enum ServeConn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl ServeListener {
+    fn bind(opts: &Options) -> Result<Self, String> {
+        match (opt(opts, "socket"), opt(opts, "listen")) {
+            (Some(path), None) => {
+                let path = PathBuf::from(path);
+                // A socket file left by a dead server blocks bind.
+                if path.exists() {
+                    std::fs::remove_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                }
+                let listener =
+                    UnixListener::bind(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+                Ok(Self::Unix { listener, path })
+            }
+            (None, Some(addr)) => {
+                let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+                listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+                Ok(Self::Tcp(listener))
+            }
+            (None, None) => Err("serve needs --socket PATH or --listen HOST:PORT".into()),
+            (Some(_), Some(_)) => Err("--socket and --listen are mutually exclusive".into()),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Self::Unix { path, .. } => format!("unix:{}", path.display()),
+            Self::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp:{a}"),
+                Err(_) => "tcp:?".into(),
+            },
+        }
+    }
+
+    /// One non-blocking accept; `Ok(None)` when nobody is waiting.
+    fn accept(&self) -> std::io::Result<Option<ServeConn>> {
+        let conn = match self {
+            Self::Unix { listener, .. } => listener.accept().map(|(s, _)| ServeConn::Unix(s)),
+            Self::Tcp(l) => l.accept().map(|(s, _)| ServeConn::Tcp(s)),
+        };
+        match conn {
+            Ok(c) => Ok(Some(c)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes the socket file so the next server can bind cleanly.
+    fn close(&self) {
+        if let Self::Unix { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The buffered read half + write half of a serve connection.
+type ConnHalves = (Box<dyn BufRead>, Box<dyn Write>);
+
+impl ServeConn {
+    /// Splits into a buffered reader + writer with a short read timeout,
+    /// so connection threads notice the shutdown flag while idle.
+    fn split(self) -> std::io::Result<ConnHalves> {
+        match self {
+            Self::Unix(s) => {
+                s.set_read_timeout(Some(Duration::from_millis(100)))?;
+                let r = s.try_clone()?;
+                Ok((Box::new(BufReader::new(r)), Box::new(s)))
+            }
+            Self::Tcp(s) => {
+                s.set_read_timeout(Some(Duration::from_millis(100)))?;
+                let r = s.try_clone()?;
+                Ok((Box::new(BufReader::new(r)), Box::new(s)))
+            }
+        }
+    }
+}
+
+/// One connection: reads protocol lines until EOF or shutdown, answers
+/// each with a single `OK …`/`ERR …` line. I/O errors just drop the
+/// connection — the server keeps running.
+fn serve_connection(conn: ServeConn, engine: &ServeEngine, shutdown: &AtomicBool) {
+    let Ok((mut reader, mut writer)) = conn.split() else {
+        return;
+    };
+    let mut line = String::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let reply = match serve_execute(engine, line.trim(), shutdown) {
+                    Ok(reply) => reply,
+                    Err(msg) => format!("ERR {msg}"),
+                };
+                line.clear();
+                if writeln!(writer, "{reply}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            // A timeout while idle (or mid-line: the bytes read so far
+            // stay buffered in `line`) — poll the flag, keep reading.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses and executes one protocol line: one verb plus space-separated
+/// vertex arguments; every reply is a single line.
+fn serve_execute(
+    engine: &ServeEngine,
+    line: &str,
+    shutdown: &AtomicBool,
+) -> Result<String, String> {
+    let mut parts = line.split_whitespace();
+    let Some(verb) = parts.next() else {
+        return Ok("OK".into()); // empty line: a keep-alive no-op
+    };
+    let verb = verb.to_ascii_uppercase();
+    let mut args: Vec<u32> = Vec::new();
+    for part in parts {
+        args.push(
+            part.parse()
+                .map_err(|_| format!("{verb}: bad vertex id `{part}`"))?,
+        );
+    }
+    let expect = |n: usize| {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{verb} takes {n} argument(s), got {}", args.len()))
+        }
+    };
+    match verb.as_str() {
+        "ADD" | "DEL" => {
+            expect(2)?;
+            let op = if verb == "ADD" {
+                EdgeOp::Insert(args[0], args[1])
+            } else {
+                EdgeOp::Delete(args[0], args[1])
+            };
+            let pending = engine.submit(&[op]).map_err(|e| e.to_string())?;
+            Ok(format!("OK pending={pending}"))
+        }
+        "FLUSH" => {
+            expect(0)?;
+            match engine.flush().map_err(|e| e.to_string())? {
+                None => Ok("OK idle".into()),
+                Some(r) => Ok(format!(
+                    "OK epoch={} ops={} evicted={} set={} proved={} rolled={} compacted={}",
+                    r.epoch, r.ops, r.evicted, r.set_size, r.maximality_proved, r.rolled,
+                    r.compacted
+                )),
+            }
+        }
+        "MEMBER" => {
+            expect(1)?;
+            let member = engine.member(args[0]).map_err(|e| e.to_string())?;
+            Ok(format!("OK {member}"))
+        }
+        "NEIGHBORS" => {
+            expect(1)?;
+            let ns = engine.neighbors(args[0]).map_err(|e| e.to_string())?;
+            let mut reply = format!("OK {}:", ns.len());
+            for v in ns {
+                reply.push(' ');
+                reply.push_str(&v.to_string());
+            }
+            Ok(reply)
+        }
+        "STATS" => {
+            expect(0)?;
+            Ok(format!("OK {}", serve_stats_json(&engine.stats())))
+        }
+        "STATUS" => {
+            expect(0)?;
+            let status = engine.store_status().map_err(|e| e.to_string())?;
+            Ok(format!("OK {}", status_json(&status)))
+        }
+        "PING" => {
+            expect(0)?;
+            Ok("OK pong".into())
+        }
+        "SHUTDOWN" => {
+            expect(0)?;
+            shutdown.store(true, Ordering::SeqCst);
+            Ok("OK shutting down".into())
+        }
+        other => Err(format!(
+            "unknown verb `{other}` (expected ADD|DEL|FLUSH|MEMBER|NEIGHBORS|STATS|STATUS|PING|SHUTDOWN)"
+        )),
+    }
+}
+
+/// Maps the serve client flags to the protocol lines they play.
+fn serve_client_verbs(opts: &Options) -> Result<Option<Vec<String>>, String> {
+    let picked = [
+        opt(opts, "status").is_some(),
+        opt(opts, "script").is_some(),
+        opt(opts, "shutdown").is_some(),
+    ];
+    if picked.iter().filter(|p| **p).count() > 1 {
+        return Err("--status, --script and --shutdown are mutually exclusive".into());
+    }
+    if opt(opts, "status").is_some() {
+        return Ok(Some(vec!["STATS".into(), "STATUS".into()]));
+    }
+    if let Some(script) = opt(opts, "script") {
+        let text = std::fs::read_to_string(script).map_err(|e| format!("{script}: {e}"))?;
+        let verbs: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect();
+        if verbs.is_empty() {
+            return Err(format!("{script}: no protocol lines"));
+        }
+        return Ok(Some(verbs));
+    }
+    if opt(opts, "shutdown").is_some() {
+        return Ok(Some(vec!["FLUSH".into(), "SHUTDOWN".into()]));
+    }
+    Ok(None)
+}
+
+/// Plays protocol lines against a running server and echoes the
+/// replies. Fails when any reply is an `ERR`.
+fn serve_client(opts: &Options, verbs: &[String]) -> Result<(), String> {
+    let (mut reader, mut writer) = serve_connect(opts)?;
+    let mut errors = 0usize;
+    for verb in verbs {
+        writeln!(writer, "{verb}")
+            .and_then(|()| writer.flush())
+            .map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+        if reply.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        let reply = reply.trim_end();
+        println!("> {verb}");
+        println!("{reply}");
+        if reply.starts_with("ERR") {
+            errors += 1;
+        }
+    }
+    if errors > 0 {
+        return Err(format!("{errors} of {} requests failed", verbs.len()));
+    }
+    Ok(())
+}
+
+/// Connects the client to `--socket PATH` or `--connect HOST:PORT`.
+fn serve_connect(opts: &Options) -> Result<ConnHalves, String> {
+    if let Some(path) = opt(opts, "socket") {
+        let s = UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
+        let r = s.try_clone().map_err(|e| e.to_string())?;
+        Ok((Box::new(BufReader::new(r)), Box::new(s)))
+    } else if let Some(addr) = opt(opts, "connect") {
+        let s = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let r = s.try_clone().map_err(|e| e.to_string())?;
+        Ok((Box::new(BufReader::new(r)), Box::new(s)))
+    } else {
+        Err("serve client mode needs --socket PATH or --connect HOST:PORT".into())
+    }
+}
+
+/// Renders a [`StoreStatus`] as one JSON line (the `STATUS` verb and
+/// `mis update status --json`).
+fn status_json(status: &StoreStatus) -> String {
+    let mut segs = String::new();
+    for (i, m) in status.segments.iter().enumerate() {
+        if i > 0 {
+            segs.push(',');
+        }
+        segs.push_str(&format!(
+            "{{\"id\":{},\"epoch_lo\":{},\"epoch_hi\":{},\"ops\":{},\"tombstones\":{},\
+             \"min_vertex\":{},\"max_vertex\":{},\"bytes\":{}}}",
+            m.id, m.epoch_lo, m.epoch_hi, m.ops, m.tombstones, m.min_vertex, m.max_vertex, m.bytes
+        ));
+    }
+    let ckpt = match status.checkpoint {
+        Some((epoch, size)) => format!("{{\"epoch\":{epoch},\"set_size\":{size}}}"),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"vertices\":{},\"base_edges\":{},\"live_edges\":{},\"last_epoch\":{},\
+         \"committed_ops\":{},\"wal_bytes\":{},\"segment_bytes\":{},\"dead_segments\":{},\
+         \"checkpoint\":{},\"segments\":[{}]}}",
+        status.vertices,
+        status.base_edges,
+        status.live_edges,
+        status.last_epoch,
+        status.committed_ops,
+        status.wal_bytes,
+        status.segment_bytes,
+        status.dead_segments,
+        ckpt,
+        segs
+    )
+}
+
+/// Renders a [`ServeStats`] as one JSON line (the `STATS` verb).
+fn serve_stats_json(stats: &ServeStats) -> String {
+    let mut reqs = String::new();
+    for (i, (kind, r)) in stats.requests.iter().enumerate() {
+        if i > 0 {
+            reqs.push(',');
+        }
+        reqs.push_str(&format!(
+            "\"{kind}\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+             \"mean_ns\":{:.1}}}",
+            r.count, r.p50_ns, r.p99_ns, r.max_ns, r.mean_ns
+        ));
+    }
+    format!(
+        "{{\"epoch\":{},\"set_size\":{},\"pending_ops\":{},\"flushes\":{},\"rolls\":{},\
+         \"compactions\":{},\"requests\":{{{}}}}}",
+        stats.epoch,
+        stats.set_size,
+        stats.pending_ops,
+        stats.flushes,
+        stats.rolls,
+        stats.compactions,
+        reqs
+    )
 }
 
 #[cfg(test)]
@@ -1958,5 +2495,155 @@ mod tests {
             "4096",
         ]))
         .unwrap();
+    }
+
+    /// Sends one protocol line over `s` and returns the trimmed reply.
+    fn ask(s: &mut UnixStream, line: &str) -> String {
+        writeln!(s, "{line}").unwrap();
+        s.flush().unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    #[test]
+    fn serve_round_trip_over_a_unix_socket() {
+        let dir = ScratchDir::new("cli-serve").unwrap();
+        let base = dir.file("g.adj").display().to_string();
+        dispatch(&strs(&[
+            "gen",
+            "er",
+            "--vertices",
+            "300",
+            "--edges",
+            "600",
+            "--block-size",
+            "4096",
+            &base,
+        ]))
+        .unwrap();
+
+        let sock = dir.file("mis.sock").display().to_string();
+        let server = {
+            let base = base.clone();
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                dispatch(&strs(&[
+                    "serve",
+                    &base,
+                    "--socket",
+                    &sock,
+                    "--roll-epochs",
+                    "1",
+                    "--compact-threshold",
+                    "2",
+                    "--block-size",
+                    "4096",
+                ]))
+            })
+        };
+        let sock_path = PathBuf::from(&sock);
+        for _ in 0..1000 {
+            if sock_path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(sock_path.exists(), "server did not come up");
+
+        let mut conn = UnixStream::connect(&sock_path).unwrap();
+        assert_eq!(ask(&mut conn, "PING"), "OK pong");
+        assert_eq!(ask(&mut conn, "ADD 0 1"), "OK pending=1");
+        let flushed = ask(&mut conn, "FLUSH");
+        assert!(flushed.starts_with("OK epoch=1 ops=1"), "{flushed}");
+        assert_eq!(ask(&mut conn, "FLUSH"), "OK idle");
+        // Membership answers from the published epoch-1 view; the
+        // inserted edge shows up in the merged neighbor list.
+        let member = ask(&mut conn, "MEMBER 0");
+        assert!(member == "OK true" || member == "OK false", "{member}");
+        let ns = ask(&mut conn, "NEIGHBORS 0");
+        assert!(ns.starts_with("OK "), "{ns}");
+        assert!(
+            ns.split_whitespace().any(|w| w == "1"),
+            "inserted edge missing from {ns}"
+        );
+        let stats = ask(&mut conn, "STATS");
+        assert!(stats.starts_with("OK {\"epoch\":1,"), "{stats}");
+        let status = ask(&mut conn, "STATUS");
+        assert!(status.contains("\"last_epoch\":1"), "{status}");
+        // Bad requests get an ERR, not a dropped connection.
+        assert!(ask(&mut conn, "ADD 0 300").starts_with("ERR"));
+        assert!(ask(&mut conn, "MEMBER x").starts_with("ERR"));
+        assert!(ask(&mut conn, "FROB").starts_with("ERR"));
+        drop(conn);
+
+        // The client modes drive the same socket: --status prints the
+        // two JSON lines, --script plays a file, --shutdown stops it.
+        dispatch(&strs(&["serve", "--status", "--socket", &sock])).unwrap();
+        let script = dir.file("script.txt");
+        std::fs::write(&script, "# one more epoch\nADD 2 3\nFLUSH\nMEMBER 2\n").unwrap();
+        dispatch(&strs(&[
+            "serve",
+            "--script",
+            &script.display().to_string(),
+            "--socket",
+            &sock,
+        ]))
+        .unwrap();
+        // A script with a failing line fails the client.
+        let bad = dir.file("bad.txt");
+        std::fs::write(&bad, "FROB\n").unwrap();
+        assert!(dispatch(&strs(&[
+            "serve",
+            "--script",
+            &bad.display().to_string(),
+            "--socket",
+            &sock,
+        ]))
+        .is_err());
+        dispatch(&strs(&["serve", "--shutdown", "--socket", &sock])).unwrap();
+
+        server.join().unwrap().unwrap();
+        assert!(!sock_path.exists(), "socket removed on shutdown");
+
+        // The store the server left behind is consistent: the status
+        // subcommand sees the committed epochs and the checkpoint.
+        dispatch(&strs(&[
+            "update",
+            "status",
+            &base,
+            "--json",
+            "--block-size",
+            "4096",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_invocations() {
+        // No base and no client flag; base without a listener; both
+        // listeners at once; client flags are mutually exclusive.
+        assert!(dispatch(&strs(&["serve"])).is_err());
+        assert!(dispatch(&strs(&["serve", "g.adj"])).is_err());
+        assert!(dispatch(&strs(&[
+            "serve",
+            "g.adj",
+            "--socket",
+            "s",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .is_err());
+        assert!(dispatch(&strs(&["serve", "--status", "--shutdown", "--socket", "s"])).is_err());
+        // Client mode with nothing to connect to.
+        assert!(dispatch(&strs(&["serve", "--status"])).is_err());
+        assert!(dispatch(&strs(&[
+            "serve",
+            "--status",
+            "--socket",
+            "/nonexistent/x.sock"
+        ]))
+        .is_err());
     }
 }
